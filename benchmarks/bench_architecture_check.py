@@ -1,0 +1,55 @@
+"""EXP-ARCH — §3 architecture check: probing the target's real limits.
+
+NetDebug discovers the SDNet-like target's actual envelope by probing:
+the deepest compilable parse chain, true table capacity (including the
+overflow behaviour), and which match kinds the backend builds. The bench
+verifies the probed values equal the published ArchLimits — any mismatch
+would itself be an architecture finding, which is the use case's point.
+"""
+
+from conftest import emit
+
+from repro.netdebug.usecases.architecture_check import (
+    probe_match_kinds,
+    probe_parse_depth,
+    probe_table_capacity,
+)
+from repro.target.limits import SDNET_LIMITS
+
+
+def test_architecture_probing(benchmark):
+    def experiment():
+        depth = probe_parse_depth()
+        installed, overflow_rejected = probe_table_capacity(64)
+        kinds = probe_match_kinds()
+        return depth, installed, overflow_rejected, kinds
+
+    depth, installed, overflow_rejected, kinds = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    assert depth == SDNET_LIMITS.max_parse_depth
+    assert installed == 64 and overflow_rejected
+    assert kinds == {
+        "exact": True, "lpm": True, "ternary": True, "range": False
+    }
+
+    emit(
+        "EXP-ARCH — probed vs published architecture limits",
+        [
+            f"parse depth   : probed {depth}, published "
+            f"{SDNET_LIMITS.max_parse_depth}  [match]",
+            f"table capacity: filled {installed}/64, overflow rejected: "
+            f"{overflow_rejected}",
+            f"match kinds   : "
+            + ", ".join(f"{k}={'yes' if v else 'NO'}"
+                        for k, v in sorted(kinds.items())),
+        ],
+    )
+    benchmark.extra_info.update(
+        {
+            "probed_parse_depth": depth,
+            "published_parse_depth": SDNET_LIMITS.max_parse_depth,
+            "match_kinds": kinds,
+        }
+    )

@@ -1,0 +1,62 @@
+"""EXP-COMPILER — §3 compiler check: finding toolchain limitations.
+
+Runs the compiler-check challenge suite for all three tools and reports
+which of the SDNet-like backend's three defects each one surfaces:
+the unimplemented ``reject`` state, the ignored ``verify`` statements,
+and the refused RANGE match kind. Reproduced shape: NetDebug 3/3, the
+external tester sees externally-visible symptoms only (half credit on
+two), the formal verifier sees nothing — it never touches the compiler.
+"""
+
+from conftest import emit
+
+from repro.netdebug.report import Capability
+from repro.netdebug.usecases import compiler_check
+
+
+def test_compiler_check_suite(benchmark):
+    def experiment():
+        return {
+            tool: compiler_check.run(tool, seed=2018)
+            for tool in ("netdebug", "external", "formal")
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    assert results["netdebug"].capability is Capability.FULL
+    assert results["external"].capability is Capability.PARTIAL
+    assert results["formal"].capability is Capability.NONE
+
+    challenge_names = [c.name for c in results["netdebug"].challenges]
+    lines = [
+        f"{'defect':<16} {'netdebug':>9} {'external':>9} {'formal':>7}"
+    ]
+    for index, name in enumerate(challenge_names):
+        lines.append(
+            f"{name:<16} "
+            f"{results['netdebug'].challenges[index].score:>9.2f} "
+            f"{results['external'].challenges[index].score:>9.2f} "
+            f"{results['formal'].challenges[index].score:>7.2f}"
+        )
+    lines.append(
+        f"{'-> capability':<16} "
+        f"{results['netdebug'].capability.value:>9} "
+        f"{results['external'].capability.value:>9} "
+        f"{results['formal'].capability.value:>7}"
+    )
+
+    emit("EXP-COMPILER — compiler-defect detection per tool", lines)
+    benchmark.extra_info["scores"] = {
+        tool: round(result.score, 3) for tool, result in results.items()
+    }
+
+
+def test_sdnet_compile_kernel(benchmark):
+    """Microbenchmark: compiling a mid-size program for the target."""
+    from repro.p4.stdlib import acl_firewall
+    from repro.target.sdnet import SDNetCompiler
+
+    compiler = SDNetCompiler()
+    program = acl_firewall()
+    compiled = benchmark(compiler.compile, program)
+    assert compiled.resources.luts > 0

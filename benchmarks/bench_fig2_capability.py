@@ -1,0 +1,38 @@
+"""FIG2 — the use-case capability matrix (the paper's Figure 2).
+
+Runs every tool (NetDebug, software formal verification, external network
+tester) against every §3 use case and reproduces the qualitative matrix:
+NetDebug full everywhere; formal verification limited to functional
+(partial) and comparison (partial); external testers partial on the four
+traffic-reachable use cases and blind to resources/status.
+"""
+
+from conftest import emit
+
+from repro.analysis.capability import (
+    EXPECTED_SHAPE,
+    build_matrix,
+    render_matrix,
+)
+
+
+def test_fig2_capability_matrix(benchmark):
+    matrix = benchmark.pedantic(
+        build_matrix, kwargs={"seed": 2018}, rounds=1, iterations=1
+    )
+
+    assert matrix.grades() == EXPECTED_SHAPE, render_matrix(matrix)
+
+    emit("Figure 2 — use-case capability matrix", [render_matrix(matrix)])
+    benchmark.extra_info["grades"] = {
+        tool: {usecase: grade.value for usecase, grade in row.items()}
+        for tool, row in matrix.grades().items()
+    }
+    benchmark.extra_info["scores"] = {
+        tool: {
+            usecase: round(matrix.score(tool, usecase), 3)
+            for usecase in matrix.results[tool]
+        }
+        for tool in matrix.results
+    }
+    benchmark.extra_info["matches_paper"] = matrix.matches_expected()

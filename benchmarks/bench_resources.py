@@ -1,0 +1,56 @@
+"""EXP-RSRC — §3 resources quantification.
+
+Per-program hardware footprint (LUTs / FFs / BRAM / DSP) and device
+utilization, read through NetDebug's management interface for every
+stdlib program on the SDNet-like target. Reproduced shape: ternary-heavy
+programs (ACL) dominate LUTs by an order over exact-match programs;
+everything fits the SUME-class device; baselines report nothing at all
+(their Figure 2 'none' cells).
+"""
+
+from conftest import emit
+
+from repro.netdebug.usecases.resources import resource_sweep
+from repro.target.resources import SUME_CAPACITY
+
+
+def test_resource_quantification_sweep(benchmark):
+    sweep = benchmark.pedantic(resource_sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"{'program':<20} {'LUTs':>8} {'FFs':>8} {'BRAM':>6} "
+        f"{'DSP':>5} {'LUT util':>9}"
+    ]
+    quantified = {}
+    for name, info in sorted(sweep.items()):
+        if "luts" not in info:
+            lines.append(f"{name:<20} rejected: {info['reason']}")
+            continue
+        quantified[name] = info
+        lines.append(
+            f"{name:<20} {info['luts']:>8} {info['flipflops']:>8} "
+            f"{info['bram_blocks']:>6} {info['dsp_slices']:>5} "
+            f"{info['utilization']['luts']:>8.1%}"
+        )
+
+    # Shape assertions.
+    assert len(quantified) >= 7
+    assert all(info["fits"] for info in quantified.values())
+    # Ternary ACL dominates exact-match switching on LUTs.
+    assert (
+        quantified["acl_firewall"]["luts"]
+        > 2 * quantified["l2_switch"]["luts"]
+    )
+    # Every estimate respects the physical device.
+    for info in quantified.values():
+        assert info["luts"] < SUME_CAPACITY.luts
+
+    emit("EXP-RSRC — per-program resource usage (SDNet-like target)", lines)
+    benchmark.extra_info["programs"] = {
+        name: {
+            "luts": info["luts"],
+            "bram": info["bram_blocks"],
+            "lut_util": round(info["utilization"]["luts"], 4),
+        }
+        for name, info in quantified.items()
+    }

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module reproduces one paper artifact (figure, table, or the §4
+case study). Benchmarks both *time* the experiment kernel via
+pytest-benchmark and *verify* the reproduced result's shape, attaching the
+reproduced rows to ``benchmark.extra_info`` and printing a paper-style
+table (visible with ``pytest -s`` or in the saved benchmark JSON).
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print a reproduction table under a banner."""
+    banner = "=" * max(len(title), 40)
+    print(f"\n{banner}\n{title}\n{banner}")
+    for line in lines:
+        print(line)

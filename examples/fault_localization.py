@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fault localization: finding where a packet died inside the pipeline.
+
+A hardware fault (blackhole) is injected into the middle of an ACL
+firewall's pipeline. Externally the device just "eats" packets — a
+tester cabled to the ports can say nothing more. NetDebug localizes the
+fault two ways:
+
+* passively, with one injection observed at every internal tap, and
+* actively, by bisection: re-injecting the packet *at* successive taps
+  until it survives, which brackets the faulty stage in O(log n) tries.
+
+Run:  python examples/fault_localization.py
+"""
+
+from repro.baselines import ExternalTester
+from repro.netdebug import NetDebugController, bisect_fault
+from repro.p4.stdlib import acl_firewall
+from repro.packet import ipv4, mac, udp_packet
+from repro.target import Fault, FaultKind, make_reference_device
+
+FAULTY_STAGE = "ingress.1"
+
+
+def main() -> None:
+    device = make_reference_device("fw0")
+    device.load(acl_firewall())
+    device.control_plane.table_add(
+        "fwd", "forward", [mac("02:00:00:00:00:02")], [2]
+    )
+    print(f"pipeline stages: {device.stage_names()}")
+
+    # A hardware fault somewhere in the middle of the pipeline.
+    device.injector.inject(Fault(FaultKind.BLACKHOLE, stage=FAULTY_STAGE))
+    print(f"(injected a blackhole fault at {FAULTY_STAGE!r})\n")
+
+    wire = udp_packet(
+        ipv4("192.168.0.9"), ipv4("172.16.0.1"), 443, 9999,
+        eth_dst=mac("02:00:00:00:00:02"),
+    ).pack()
+
+    print("== what the external tester sees ==")
+    captures = ExternalTester(device).send(wire, 0)
+    print(f"sent 1 frame on port 0, captured {len(captures)} frames")
+    print("-> 'the device lost my packet', location unknown\n")
+
+    print("== NetDebug passive localization (internal taps) ==")
+    controller = NetDebugController(device)
+    passive = controller.localize_fault(wire)
+    for line in passive.evidence:
+        print(f"  {line}")
+    print(f"-> {passive}\n")
+    assert passive.stage == FAULTY_STAGE
+
+    print("== NetDebug active bisection (direct injection) ==")
+    active = bisect_fault(device, wire)
+    for line in active.evidence:
+        print(f"  {line}")
+    print(f"-> {active}")
+    assert active.stage == FAULTY_STAGE
+
+    print("\nboth strategies point at the same stage — exactly the")
+    print("'find where the fault occurred, even inside the data plane'")
+    print("capability the paper claims for NetDebug.")
+
+
+if __name__ == "__main__":
+    main()

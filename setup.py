@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Configuration lives in pyproject.toml; this file exists so legacy
+``pip install -e .`` works in environments without the ``wheel`` package
+(pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""NetDebug reproduction: a programmable framework for validating data planes.
+
+Reproduces Bressana, Zilberman & Soulé, *A Programmable Framework for
+Validating Data Planes* (SIGCOMM 2018) as a pure-Python system:
+
+* :mod:`repro.packet` — bit-precise packets, standard headers, checksums.
+* :mod:`repro.p4` — a P4₁₆-like IR with parser ``reject`` semantics,
+  match-action tables, interpreter, DSL and a program stdlib.
+* :mod:`repro.target` — simulated hardware targets: a spec-faithful
+  reference and an SDNet-like backend whose datapath silently omits the
+  ``reject`` state (the paper's §4 case study).
+* :mod:`repro.netdebug` — the NetDebug framework: in-device test packet
+  generator, line-rate output checker at internal tap points, host-side
+  controller, fault localization, and the seven §3 use cases.
+* :mod:`repro.baselines` — the Figure 2 comparison tools: a p4v-like
+  spec-level formal verifier and an OSNT-like external tester.
+* :mod:`repro.analysis` — the Figure 2 capability matrix, computed by
+  actually running every tool against every use case.
+"""
+
+from .exceptions import (
+    ChecksumError,
+    CompileError,
+    ControlPlaneError,
+    NetDebugError,
+    P4Error,
+    P4RuntimeError,
+    P4TypeError,
+    P4ValidationError,
+    PacketError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    TargetError,
+    VerificationError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "PacketError",
+    "ParseError",
+    "ChecksumError",
+    "P4Error",
+    "P4TypeError",
+    "P4ValidationError",
+    "P4RuntimeError",
+    "CompileError",
+    "TargetError",
+    "ControlPlaneError",
+    "SimulationError",
+    "NetDebugError",
+    "VerificationError",
+]

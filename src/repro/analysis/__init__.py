@@ -1,0 +1,15 @@
+"""Experiment analysis: the Figure 2 capability matrix and statistics."""
+
+from .capability import (
+    CapabilityMatrix,
+    EXPECTED_SHAPE,
+    build_matrix,
+    render_matrix,
+)
+
+__all__ = [
+    "CapabilityMatrix",
+    "EXPECTED_SHAPE",
+    "build_matrix",
+    "render_matrix",
+]

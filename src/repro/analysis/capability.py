@@ -1,0 +1,125 @@
+"""Figure 2 reproduction: the use-case capability matrix.
+
+Runs every (tool × use case) challenge suite and assembles the matrix the
+paper presents qualitatively. The expected shape, straight from the
+paper's §3 text:
+
+* **NetDebug** — full on all seven use cases.
+* **Software formal verification** — functional only (partial here, since
+  the functional suite includes hardware-level bugs the spec cannot
+  show), comparison partial, everything else none.
+* **External network testers** — partial on functional / performance /
+  compiler / architecture, none on resources and status monitoring,
+  partial comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netdebug.report import Capability
+from ..netdebug.usecases import TOOLS, USECASE_MODULES, USECASES, UseCaseResult
+
+__all__ = [
+    "CapabilityMatrix",
+    "EXPECTED_SHAPE",
+    "build_matrix",
+    "render_matrix",
+]
+
+#: The qualitative expectation from the paper (used by tests/benches).
+EXPECTED_SHAPE: dict[str, dict[str, Capability]] = {
+    "netdebug": {usecase: Capability.FULL for usecase in USECASES},
+    "formal": {
+        "functional": Capability.PARTIAL,
+        "performance": Capability.NONE,
+        "compiler_check": Capability.NONE,
+        "architecture_check": Capability.NONE,
+        "resources": Capability.NONE,
+        "status_monitoring": Capability.NONE,
+        "comparison": Capability.PARTIAL,
+    },
+    "external": {
+        "functional": Capability.PARTIAL,
+        "performance": Capability.PARTIAL,
+        "compiler_check": Capability.PARTIAL,
+        "architecture_check": Capability.PARTIAL,
+        "resources": Capability.NONE,
+        "status_monitoring": Capability.NONE,
+        "comparison": Capability.PARTIAL,
+    },
+}
+
+
+@dataclass
+class CapabilityMatrix:
+    """All (tool, use case) results plus matrix-level views."""
+
+    results: dict[str, dict[str, UseCaseResult]] = field(default_factory=dict)
+
+    def capability(self, tool: str, usecase: str) -> Capability:
+        return self.results[tool][usecase].capability
+
+    def score(self, tool: str, usecase: str) -> float:
+        return self.results[tool][usecase].score
+
+    def grades(self) -> dict[str, dict[str, Capability]]:
+        return {
+            tool: {
+                usecase: result.capability
+                for usecase, result in row.items()
+            }
+            for tool, row in self.results.items()
+        }
+
+    def matches_expected(self) -> bool:
+        return self.grades() == EXPECTED_SHAPE
+
+
+def build_matrix(
+    seed: int = 0,
+    tools: tuple[str, ...] = TOOLS,
+    usecases: tuple[str, ...] = USECASES,
+) -> CapabilityMatrix:
+    """Actually run every challenge suite and assemble the matrix."""
+    matrix = CapabilityMatrix()
+    for tool in tools:
+        row: dict[str, UseCaseResult] = {}
+        for usecase in usecases:
+            row[usecase] = USECASE_MODULES[usecase].run(tool, seed=seed)
+        matrix.results[tool] = row
+    return matrix
+
+
+_GLYPH = {
+    Capability.FULL: "●",
+    Capability.PARTIAL: "◐",
+    Capability.NONE: "○",
+}
+
+_TOOL_LABEL = {
+    "netdebug": "NetDebug",
+    "formal": "SW formal verification",
+    "external": "External network tester",
+}
+
+
+def render_matrix(matrix: CapabilityMatrix, show_scores: bool = True) -> str:
+    """Pretty-print the matrix in the shape of the paper's Figure 2."""
+    col_width = max(len(u) for u in USECASES) + 2
+    header = " " * 26 + "".join(f"{u:<{col_width}}" for u in USECASES)
+    lines = [header, "-" * len(header)]
+    for tool in matrix.results:
+        cells = []
+        for usecase in USECASES:
+            result = matrix.results[tool][usecase]
+            glyph = _GLYPH[result.capability]
+            cell = (
+                f"{glyph} {result.capability.value}"
+                + (f" ({result.score:.2f})" if show_scores else "")
+            )
+            cells.append(f"{cell:<{col_width}}")
+        lines.append(f"{_TOOL_LABEL.get(tool, tool):<26}" + "".join(cells))
+    lines.append("")
+    lines.append("● full support   ◐ partial support   ○ no support")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Measurement aggregation helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+__all__ = ["Series", "ratio", "percent"]
+
+
+@dataclass
+class Series:
+    """A named series of numeric samples with summary accessors."""
+
+    name: str
+    samples: list[float]
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        return statistics.stdev(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile, ``fraction`` in [0, 1]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(len(ordered) * fraction))
+        return ordered[index]
+
+    def row(self) -> str:
+        """One formatted table row for bench output."""
+        return (
+            f"{self.name:<28} n={self.count:<6} mean={self.mean:<12.4g} "
+            f"min={self.minimum:<12.4g} max={self.maximum:<12.4g}"
+        )
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio: 0 when the denominator is 0."""
+    return numerator / denominator if denominator else 0.0
+
+
+def percent(fraction: float) -> str:
+    """Format a 0..1 fraction as a percentage string."""
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,35 @@
+"""Baseline tools NetDebug is compared against in Figure 2."""
+
+from .external_tester import (
+    ExternalCapture,
+    ExternalTester,
+    ExternalTestReport,
+)
+from .formal import (
+    Property,
+    SymbolicVerifier,
+    VerificationReport,
+    Violation,
+    equivalence_check,
+    prop_forwarded,
+    prop_no_invalid_header_access,
+    prop_rejected_never_forwarded,
+)
+from .symbolic import Infeasible, SymbolicState, ValueSet
+
+__all__ = [
+    "ExternalTester",
+    "ExternalCapture",
+    "ExternalTestReport",
+    "SymbolicVerifier",
+    "VerificationReport",
+    "Violation",
+    "Property",
+    "prop_forwarded",
+    "prop_no_invalid_header_access",
+    "prop_rejected_never_forwarded",
+    "equivalence_check",
+    "ValueSet",
+    "SymbolicState",
+    "Infeasible",
+]

@@ -1,0 +1,164 @@
+"""External network tester baseline (OSNT-like).
+
+Models a hardware traffic generator/capture box cabled to the device's
+*external* ports. Its defining limitation — the reason Figure 2 scores it
+"partial" on four use cases and "none" on two — is the lack of an internal
+view: it can transmit on a port, capture on ports, and timestamp frames at
+its own interfaces, but it cannot inject mid-pipeline, observe internal
+taps, read counters/registers/occupancy, or see why a packet vanished.
+
+The measurement path adds realistic cable+PHY+capture overhead to latency
+samples, so external latency readings bound but never equal the in-device
+figure NetDebug reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..packet.packet import Packet
+from ..target.device import NetworkDevice
+
+__all__ = ["ExternalCapture", "ExternalTestReport", "ExternalTester"]
+
+#: Fixed overhead (ns) added by cables, PHYs and the capture pipeline to
+#: every external round-trip measurement.
+EXTERNAL_OVERHEAD_NS = 480.0
+
+
+@dataclass(frozen=True)
+class ExternalCapture:
+    """One frame captured at an external port."""
+
+    port: int
+    wire: bytes
+    rtt_ns: float
+
+
+@dataclass
+class ExternalTestReport:
+    """Results of one external send/expect run."""
+
+    sent: int = 0
+    captured: int = 0
+    missing: int = 0
+    mismatched: int = 0
+    wrong_port: int = 0
+    unexpected: int = 0
+    details: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.missing == 0
+            and self.mismatched == 0
+            and self.wrong_port == 0
+            and self.unexpected == 0
+        )
+
+
+class ExternalTester:
+    """Port-level send/capture tester for one device."""
+
+    def __init__(self, device: NetworkDevice):
+        self._device = device
+        self.captures: list[ExternalCapture] = []
+
+    # ------------------------------------------------------------------
+    # Raw port operations — the tester's entire vocabulary
+    # ------------------------------------------------------------------
+    def send(self, wire: bytes, port: int) -> list[ExternalCapture]:
+        """Transmit one frame; capture whatever comes back out."""
+        before = self._device.clock_cycles
+        outputs = self._device.process(wire, port)
+        cycles = self._device.clock_cycles - before
+        rtt_ns = (
+            cycles * 1e3 / self._device.limits.clock_mhz
+            + EXTERNAL_OVERHEAD_NS
+        )
+        captured = [
+            ExternalCapture(out_port, out_wire, rtt_ns)
+            for out_port, out_wire in outputs
+        ]
+        self.captures.extend(captured)
+        return captured
+
+    # ------------------------------------------------------------------
+    # Functional testing: expected-output comparison at the ports
+    # ------------------------------------------------------------------
+    def run_vectors(
+        self,
+        vectors: list[tuple[bytes, int, bytes | None, int | None]],
+    ) -> ExternalTestReport:
+        """Run ``(frame, in_port, expected_frame, expected_port)`` vectors.
+
+        ``expected_frame=None`` means the frame must be absorbed (drop
+        test); otherwise the first capture must match the bytes and,
+        when given, the port.
+        """
+        report = ExternalTestReport()
+        for wire, in_port, expected_wire, expected_port in vectors:
+            report.sent += 1
+            captured = self.send(wire, in_port)
+            report.captured += len(captured)
+            if expected_wire is None:
+                if captured:
+                    report.unexpected += 1
+                    report.details.append(
+                        f"frame expected to be dropped emerged on port "
+                        f"{captured[0].port}"
+                    )
+                continue
+            if not captured:
+                report.missing += 1
+                report.details.append(
+                    "expected output frame never appeared at any port"
+                )
+                continue
+            head = captured[0]
+            if expected_port is not None and head.port != expected_port:
+                report.wrong_port += 1
+                report.details.append(
+                    f"frame emerged on port {head.port}, expected "
+                    f"{expected_port}"
+                )
+            if head.wire != expected_wire:
+                report.mismatched += 1
+                report.details.append("output frame bytes differ")
+        return report
+
+    # ------------------------------------------------------------------
+    # Performance testing: external throughput / rate / RTT
+    # ------------------------------------------------------------------
+    def measure(
+        self, packets: list[Packet], port: int = 0
+    ) -> dict[str, float]:
+        """Blast ``packets`` through the device and measure externally.
+
+        Returns throughput (Gb/s), packet rate (Mpps) and RTT latency
+        stats (ns) *as seen from outside* — in-device latency is not
+        separable from the measurement overhead.
+        """
+        device = self._device
+        start_cycles = device.clock_cycles
+        rtts: list[float] = []
+        octets = 0
+        delivered = 0
+        for packet in packets:
+            wire = packet.pack()
+            captured = self.send(wire, port)
+            if captured:
+                delivered += 1
+                octets += len(captured[0].wire)
+                rtts.append(captured[0].rtt_ns)
+        elapsed_cycles = max(1, device.clock_cycles - start_cycles)
+        elapsed_s = elapsed_cycles / (device.limits.clock_mhz * 1e6)
+        return {
+            "offered": float(len(packets)),
+            "delivered": float(delivered),
+            "throughput_gbps": octets * 8 / elapsed_s / 1e9,
+            "packet_rate_mpps": delivered / elapsed_s / 1e6,
+            "rtt_mean_ns": sum(rtts) / len(rtts) if rtts else 0.0,
+            "rtt_min_ns": min(rtts) if rtts else 0.0,
+            "rtt_max_ns": max(rtts) if rtts else 0.0,
+        }

@@ -1,0 +1,559 @@
+"""Software formal verification baseline (p4v-like).
+
+Verifies properties of a P4 program **at the specification level**: it
+explores the program's parser and table structure symbolically (value-set
+domain, :mod:`repro.baselines.symbolic`), derives one concrete *witness
+candidate* per behaviour class (parser path × table-entry choice), and
+checks every property on the spec-faithful reference interpreter for each
+candidate. Violations always carry a concrete counterexample packet.
+
+Like the tool it models, the verifier's soundness boundary is the
+specification itself: it never executes the *compiled target*, so a
+backend that deviates from the spec — SDNet's unimplemented ``reject``
+state — is invisible here. The paper's §4 case study hinges on exactly
+this blind spot, and the comparison experiments use
+:attr:`VerificationReport.analysis_level` to make it explicit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..exceptions import P4RuntimeError, VerificationError
+from ..p4.expr import Const, Expr, FieldRef, MetaRef
+from ..p4.interpreter import Interpreter, PipelineResult, Verdict
+from ..p4.parser import ACCEPT, REJECT
+from ..p4.program import P4Program
+from ..p4.table import KeyPattern, MatchKind, Table, TableEntry
+from ..packet.packet import Header, Packet
+from .symbolic import Infeasible, SymbolicState, ValueSet
+
+__all__ = [
+    "Property",
+    "Violation",
+    "VerificationReport",
+    "SymbolicVerifier",
+    "prop_no_invalid_header_access",
+    "prop_forwarded",
+    "prop_rejected_never_forwarded",
+    "equivalence_check",
+]
+
+#: Cap on parser paths and per-program candidates, to bound verification.
+MAX_PARSER_PATHS = 256
+MAX_CANDIDATES = 4096
+
+
+@dataclass(frozen=True)
+class Property:
+    """A property checked on every candidate behaviour.
+
+    ``check(wire, result)`` returns True when the behaviour satisfies the
+    property. ``result`` is the spec-level pipeline result for ``wire``.
+    """
+
+    name: str
+    check: Callable[[bytes, PipelineResult], bool]
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A property violation with a concrete witness packet."""
+
+    property_name: str
+    witness: bytes
+    detail: str
+
+
+@dataclass
+class VerificationReport:
+    """Everything one verification run produced."""
+
+    program: str
+    properties: list[str]
+    violations: list[Violation] = field(default_factory=list)
+    parser_paths: int = 0
+    candidates: int = 0
+    #: Constant reminder of what this tool can see. Always ``"spec"``:
+    #: the verifier analyses the program, never the compiled artifact.
+    analysis_level: str = "spec"
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def violations_of(self, property_name: str) -> list[Violation]:
+        return [
+            v for v in self.violations if v.property_name == property_name
+        ]
+
+    def summary(self) -> str:
+        lines = [
+            f"formal verification of {self.program!r} "
+            f"[{self.analysis_level}-level]",
+            f"  parser paths: {self.parser_paths}, candidates: "
+            f"{self.candidates}",
+            f"  verdict: {'PASS' if self.passed else 'FAIL'}",
+        ]
+        for violation in self.violations:
+            lines.append(
+                f"  violated {violation.property_name!r}: {violation.detail}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Property constructors
+# ----------------------------------------------------------------------
+def prop_no_invalid_header_access() -> Property:
+    """The classic p4v property: no read/write of an invalid header.
+
+    Violations surface as interpreter runtime errors; the verifier turns
+    those into violations of this property automatically, so the check
+    function itself always passes.
+    """
+    return Property(
+        "no-invalid-header-access",
+        lambda wire, result: True,
+        "no path reads or writes a header that was not extracted",
+    )
+
+
+def prop_forwarded(
+    name: str,
+    predicate: Callable[[PipelineResult], bool],
+    description: str = "",
+) -> Property:
+    """Forwarded packets must satisfy ``predicate`` on the final state."""
+
+    def check(wire: bytes, result: PipelineResult) -> bool:
+        if result.verdict is not Verdict.FORWARDED:
+            return True
+        return predicate(result)
+
+    return Property(name, check, description)
+
+
+def prop_rejected_never_forwarded() -> Property:
+    """Parser-rejectable inputs never leave the device.
+
+    On the specification this is true *by construction* — the spec
+    semantics drop rejected packets — which is precisely why a formal
+    tool passes programs whose hardware violates it.
+    """
+
+    def check(wire: bytes, result: PipelineResult) -> bool:
+        return result.verdict is not Verdict.FORWARDED or (
+            result.metadata.get("parser_error", 0) == 0
+        )
+
+    return Property(
+        "rejected-never-forwarded",
+        check,
+        "packets that reach the reject state are dropped",
+    )
+
+
+# ----------------------------------------------------------------------
+# Parser path enumeration
+# ----------------------------------------------------------------------
+@dataclass
+class ParserPath:
+    """One path through the parser FSM."""
+
+    states: list[str]
+    extracted: list[str]
+    sym: SymbolicState
+    outcome: str  # ACCEPT or REJECT
+
+
+class SymbolicVerifier:
+    """Spec-level property verifier for one program."""
+
+    def __init__(self, program: P4Program, seed: int = 0):
+        self.program = program
+        self._rng = random.Random(seed)
+
+    # -- parser -----------------------------------------------------------
+    def parser_paths(self) -> list[ParserPath]:
+        """All bounded paths through the parser with their constraints."""
+        env = self.program.env
+        paths: list[ParserPath] = []
+        start = self.program.parser.start
+
+        def walk(
+            state_name: str,
+            visited: tuple[str, ...],
+            extracted: list[str],
+            sym: SymbolicState,
+        ) -> None:
+            if len(paths) >= MAX_PARSER_PATHS:
+                return
+            if state_name in (ACCEPT, REJECT):
+                paths.append(
+                    ParserPath(
+                        list(visited), list(extracted), sym, state_name
+                    )
+                )
+                return
+            if visited.count(state_name) > 1:
+                return  # refuse cyclic paths beyond one revisit
+            state = self.program.parser.state(state_name)
+            new_extracted = extracted + list(state.extracts)
+            for header in state.extracts:
+                sym.extracted.append(header)
+
+            if state.verify is not None:
+                # Branch: verify fails -> reject. Constrain only the
+                # common "field op const" shapes; otherwise fork blindly.
+                fail_sym = sym.fork()
+                fail_sym.note(f"verify fails in {state_name}")
+                try:
+                    self._constrain_bool(fail_sym, state.verify[0], False)
+                    paths.append(
+                        ParserPath(
+                            list(visited) + [state_name],
+                            list(new_extracted),
+                            fail_sym,
+                            REJECT,
+                        )
+                    )
+                except Infeasible:
+                    pass
+                try:
+                    self._constrain_bool(sym, state.verify[0], True)
+                except Infeasible:
+                    return
+
+            transition = state.transition
+            if not transition.is_select:
+                walk(
+                    transition.default,
+                    visited + (state_name,),
+                    new_extracted,
+                    sym,
+                )
+                return
+            # Select: branch per case plus the default.
+            taken_values: list[int] = []
+            single_exact_key = (
+                len(transition.keys) == 1
+                and isinstance(transition.keys[0], (FieldRef, MetaRef))
+            )
+            key_path = (
+                self._expr_path(transition.keys[0])
+                if single_exact_key
+                else None
+            )
+            key_width = (
+                transition.keys[0].width(env) if single_exact_key else 0
+            )
+            for case in transition.cases:
+                branch = sym.fork()
+                feasible = True
+                if single_exact_key and len(case.patterns) == 1:
+                    value, mask_ = case.patterns[0]
+                    if mask_ == -1:
+                        try:
+                            branch.constrain_eq(key_path, key_width, value)
+                            taken_values.append(value)
+                        except Infeasible:
+                            feasible = False
+                    else:
+                        branch.note(
+                            f"masked select {value:#x}/{mask_:#x}"
+                        )
+                if feasible:
+                    walk(
+                        case.next_state,
+                        visited + (state_name,),
+                        new_extracted,
+                        branch,
+                    )
+            default_branch = sym.fork()
+            feasible = True
+            if single_exact_key:
+                for value in taken_values:
+                    try:
+                        default_branch.constrain_ne(
+                            key_path, key_width, value
+                        )
+                    except Infeasible:
+                        feasible = False
+                        break
+            if feasible:
+                walk(
+                    transition.default,
+                    visited + (state_name,),
+                    new_extracted,
+                    default_branch,
+                )
+
+        walk(start, (), [], SymbolicState())
+        return paths
+
+    def _expr_path(self, expr: Expr) -> str:
+        if isinstance(expr, FieldRef):
+            return expr.path
+        if isinstance(expr, MetaRef):
+            return f"meta.{expr.name}"
+        raise VerificationError(f"not a simple reference: {expr!r}")
+
+    def _constrain_bool(
+        self, sym: SymbolicState, expr: Expr, want: bool
+    ) -> None:
+        """Best-effort refinement of ``expr == want`` on the state.
+
+        Handles ``field == const`` / ``field >= const`` (and conjunctions
+        when asserting True). Anything else becomes a note — the
+        candidate is over-approximate and the concrete replay decides.
+        """
+        from ..p4.expr import BinOp
+
+        env = self.program.env
+        if isinstance(expr, BinOp):
+            if expr.op == "and" and want:
+                self._constrain_bool(sym, expr.left, True)
+                self._constrain_bool(sym, expr.right, True)
+                return
+            if expr.op == "and" and not want:
+                # ¬(a ∧ b) — cover the ¬a disjunct; the concrete replay
+                # keeps this sound (never a false violation).
+                self._constrain_bool(sym, expr.left, False)
+                return
+            simple_ref = isinstance(expr.left, (FieldRef, MetaRef))
+            const_right = isinstance(expr.right, Const)
+            if simple_ref and const_right:
+                path = self._expr_path(expr.left)
+                width = expr.left.width(env)
+                value = expr.right.value
+                if expr.op == "==":
+                    if want:
+                        sym.constrain_eq(path, width, value)
+                    else:
+                        sym.constrain_ne(path, width, value)
+                    return
+                if expr.op == ">=" and not want:
+                    # field < value: representable when small.
+                    if value <= 64:
+                        allowed = frozenset(range(value))
+                        sym.set(
+                            path,
+                            sym.get(path, width).refine_in(allowed),
+                        )
+                        return
+                if expr.op == ">=" and want:
+                    sym.note(f"{path} >= {value}")
+                    # Prefer a witness at the boundary.
+                    current = sym.get(path, width)
+                    if current.kind == "any":
+                        sym.set(path, ValueSet.concrete(width, value))
+                    return
+        sym.note(f"unrefined constraint: {expr!r} == {want}")
+
+    # -- candidate construction --------------------------------------------
+    def build_packet(self, path: ParserPath, sym: SymbolicState) -> bytes:
+        """Materialize a concrete packet following ``path``."""
+        headers: list[Header] = []
+        for name in path.extracted:
+            spec = self.program.env.header(name)
+            values = {}
+            for fspec in spec.fields:
+                dotted = f"{name}.{fspec.name}"
+                if dotted in sym.fields:
+                    values[fspec.name] = sym.fields[dotted].pick(
+                        fspec.default
+                    )
+                else:
+                    values[fspec.name] = fspec.default
+            headers.append(Header(spec, values))
+        packet = Packet(headers=headers, payload=b"\x00" * 16)
+        return packet.pack()
+
+    def _table_choices(self, table: Table) -> list[TableEntry | None]:
+        """Branches per table: each installed entry plus the miss."""
+        return list(table.entries) + [None]
+
+    def _constrain_for_entry(
+        self,
+        sym: SymbolicState,
+        table: Table,
+        entry: TableEntry | None,
+        misses: list[TableEntry],
+    ) -> bool:
+        """Refine ``sym`` so the table chooses ``entry`` (None=miss)."""
+        env = self.program.env
+        try:
+            if entry is not None:
+                for key, pattern in zip(table.keys, entry.patterns):
+                    if not isinstance(key.expr, (FieldRef, MetaRef)):
+                        continue
+                    path = self._expr_path(key.expr)
+                    width = key.expr.width(env)
+                    value = self._pattern_value(key.kind, pattern, width)
+                    if isinstance(key.expr, FieldRef):
+                        sym.constrain_eq(path, width, value)
+            else:
+                for miss_entry in misses:
+                    for key, pattern in zip(table.keys, miss_entry.patterns):
+                        if key.kind is not MatchKind.EXACT:
+                            continue
+                        if not isinstance(key.expr, FieldRef):
+                            continue
+                        sym.constrain_ne(
+                            self._expr_path(key.expr),
+                            key.expr.width(env),
+                            pattern.value,
+                        )
+        except Infeasible:
+            return False
+        return True
+
+    @staticmethod
+    def _pattern_value(
+        kind: MatchKind, pattern: KeyPattern, width: int
+    ) -> int:
+        if kind is MatchKind.EXACT:
+            return pattern.value
+        if kind is MatchKind.LPM:
+            return pattern.value  # the prefix's own address matches
+        if kind is MatchKind.TERNARY:
+            return pattern.value & (pattern.mask or 0)
+        if kind is MatchKind.RANGE:
+            return pattern.value
+        raise VerificationError(f"unknown kind {kind!r}")
+
+    def candidates(self) -> list[bytes]:
+        """Concrete witness packets covering behaviour classes."""
+        tables = list(self.program.all_tables().values())
+        packets: list[bytes] = []
+        for path in self.parser_paths():
+            if path.outcome == REJECT:
+                try:
+                    packets.append(self.build_packet(path, path.sym))
+                except Infeasible:
+                    pass
+                continue
+            choice_lists = [self._table_choices(t) for t in tables]
+            if not choice_lists:
+                try:
+                    packets.append(self.build_packet(path, path.sym))
+                except Infeasible:
+                    pass
+                continue
+            for combo in itertools.product(*choice_lists):
+                if len(packets) >= MAX_CANDIDATES:
+                    break
+                sym = path.sym.fork()
+                feasible = True
+                for table, entry in zip(tables, combo):
+                    if not self._constrain_for_entry(
+                        sym, table, entry, table.entries
+                    ):
+                        feasible = False
+                        break
+                if not feasible:
+                    continue
+                try:
+                    packets.append(self.build_packet(path, sym))
+                except Infeasible:
+                    continue
+        # Deduplicate while preserving order.
+        seen: set[bytes] = set()
+        unique = []
+        for packet in packets:
+            if packet not in seen:
+                seen.add(packet)
+                unique.append(packet)
+        return unique
+
+    # -- main entry ----------------------------------------------------------
+    def verify(self, properties: list[Property]) -> VerificationReport:
+        """Check every property against every candidate behaviour."""
+        report = VerificationReport(
+            program=self.program.name,
+            properties=[p.name for p in properties],
+        )
+        paths = self.parser_paths()
+        report.parser_paths = len(paths)
+        candidates = self.candidates()
+        report.candidates = len(candidates)
+
+        has_header_access_prop = any(
+            p.name == "no-invalid-header-access" for p in properties
+        )
+        for wire in candidates:
+            interp = Interpreter(self.program, honor_reject=True)
+            try:
+                result = interp.process(wire)
+            except P4RuntimeError as exc:
+                if has_header_access_prop:
+                    report.violations.append(
+                        Violation(
+                            "no-invalid-header-access", wire, str(exc)
+                        )
+                    )
+                continue
+            for prop in properties:
+                if prop.name == "no-invalid-header-access":
+                    continue
+                if not prop.check(wire, result):
+                    report.violations.append(
+                        Violation(
+                            prop.name,
+                            wire,
+                            f"verdict={result.verdict.value} "
+                            f"egress={result.metadata.get('egress_spec')}",
+                        )
+                    )
+        return report
+
+
+def equivalence_check(
+    program_a: P4Program, program_b: P4Program, seed: int = 0
+) -> list[tuple[bytes, str]]:
+    """Spec-level differential check of two programs.
+
+    Runs both specifications on the union of both candidate sets and
+    returns ``(witness, explanation)`` for every behavioural difference.
+    This is the formal tool's contribution to the *comparison* use case —
+    note it compares specifications, not implementations.
+    """
+    candidates = (
+        SymbolicVerifier(program_a, seed).candidates()
+        + SymbolicVerifier(program_b, seed).candidates()
+    )
+    differences: list[tuple[bytes, str]] = []
+    seen: set[bytes] = set()
+    for wire in candidates:
+        if wire in seen:
+            continue
+        seen.add(wire)
+        results = []
+        for program in (program_a, program_b):
+            interp = Interpreter(program, honor_reject=True)
+            try:
+                result = interp.process(wire)
+                results.append(
+                    (
+                        result.verdict.value,
+                        result.metadata.get("egress_spec"),
+                        result.packet.pack() if result.packet else b"",
+                    )
+                )
+            except P4RuntimeError as exc:
+                results.append(("runtime-error", None, str(exc).encode()))
+        if results[0] != results[1]:
+            differences.append(
+                (
+                    wire,
+                    f"{program_a.name}: {results[0][0]} -> port "
+                    f"{results[0][1]}; {program_b.name}: {results[1][0]} "
+                    f"-> port {results[1][1]}",
+                )
+            )
+    return differences

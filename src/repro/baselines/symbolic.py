@@ -1,0 +1,177 @@
+"""Value-set symbolic domain for the formal-verification baseline.
+
+The p4v-style verifier (:mod:`repro.baselines.formal`) explores program
+paths symbolically. Since no SMT solver is available offline, constraints
+over header/metadata fields are tracked in a *value-set domain*: each
+field is ``ANY`` (unconstrained), ``IN`` a finite set, or ``NOT-IN`` a
+finite set of its width's domain. This domain is exact for the dominant
+P4 idiom — comparing fields against constants in parser selects, control
+conditionals and exact-match keys — and over-approximates the rest;
+over-approximation is then discharged by *concrete witness confirmation*
+(every candidate violation is replayed on the reference interpreter, so
+no false positives escape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bitutils import mask
+from ..exceptions import VerificationError
+
+__all__ = ["ValueSet", "SymbolicState", "Infeasible"]
+
+
+class Infeasible(VerificationError):
+    """A refinement emptied a value set: the path cannot execute."""
+
+
+@dataclass(frozen=True)
+class ValueSet:
+    """The set of values a field may hold on some path.
+
+    ``kind`` is ``any`` / ``in`` / ``notin``; ``values`` is meaningful for
+    the latter two.
+    """
+
+    width: int
+    kind: str = "any"
+    values: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("any", "in", "notin"):
+            raise VerificationError(f"bad value-set kind {self.kind!r}")
+        if self.kind == "in" and not self.values:
+            raise Infeasible("empty IN set")
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def any_(cls, width: int) -> "ValueSet":
+        return cls(width)
+
+    @classmethod
+    def concrete(cls, width: int, value: int) -> "ValueSet":
+        return cls(width, "in", frozenset({value & mask(width)}))
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def is_concrete(self) -> bool:
+        return self.kind == "in" and len(self.values) == 1
+
+    @property
+    def concrete_value(self) -> int:
+        if not self.is_concrete:
+            raise VerificationError("value set is not concrete")
+        return next(iter(self.values))
+
+    def may_equal(self, value: int) -> bool:
+        value &= mask(self.width)
+        if self.kind == "any":
+            return True
+        if self.kind == "in":
+            return value in self.values
+        return value not in self.values
+
+    def must_equal(self, value: int) -> bool:
+        return self.is_concrete and self.concrete_value == (
+            value & mask(self.width)
+        )
+
+    # -- refinements (return new sets; raise Infeasible on conflict) ------
+    def refine_eq(self, value: int) -> "ValueSet":
+        value &= mask(self.width)
+        if not self.may_equal(value):
+            raise Infeasible(
+                f"cannot refine {self} to == {value:#x}"
+            )
+        return ValueSet(self.width, "in", frozenset({value}))
+
+    def refine_ne(self, value: int) -> "ValueSet":
+        value &= mask(self.width)
+        if self.kind == "in":
+            remaining = self.values - {value}
+            if not remaining:
+                raise Infeasible(f"cannot refine {self} to != {value:#x}")
+            return ValueSet(self.width, "in", remaining)
+        excluded = (
+            self.values | {value} if self.kind == "notin" else frozenset({value})
+        )
+        if len(excluded) > mask(self.width):
+            raise Infeasible("excluded the whole domain")
+        return ValueSet(self.width, "notin", excluded)
+
+    def refine_in(self, allowed: frozenset[int]) -> "ValueSet":
+        allowed = frozenset(v & mask(self.width) for v in allowed)
+        if self.kind == "any":
+            feasible = allowed
+        elif self.kind == "in":
+            feasible = self.values & allowed
+        else:
+            feasible = allowed - self.values
+        if not feasible:
+            raise Infeasible("IN refinement emptied the set")
+        return ValueSet(self.width, "in", feasible)
+
+    # -- witness ----------------------------------------------------------
+    def pick(self, preferred: int | None = None) -> int:
+        """A representative concrete value from the set."""
+        if preferred is not None and self.may_equal(preferred):
+            return preferred & mask(self.width)
+        if self.kind == "in":
+            return min(self.values)
+        if self.kind == "any":
+            return 0
+        # NOT-IN: smallest value outside the excluded set.
+        candidate = 0
+        while candidate in self.values:
+            candidate += 1
+            if candidate > mask(self.width):
+                raise Infeasible("no value outside NOT-IN set")
+        return candidate
+
+    def __str__(self) -> str:
+        if self.kind == "any":
+            return f"any<{self.width}>"
+        inner = ",".join(f"{v:#x}" for v in sorted(self.values)[:4])
+        suffix = ",…" if len(self.values) > 4 else ""
+        return f"{self.kind}<{self.width}>{{{inner}{suffix}}}"
+
+
+@dataclass
+class SymbolicState:
+    """Per-path symbolic facts: field sets, extracted headers, notes.
+
+    Keys of ``fields`` are dotted ``header.field`` paths or
+    ``meta.<name>`` for metadata.
+    """
+
+    fields: dict[str, ValueSet] = field(default_factory=dict)
+    extracted: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def fork(self) -> "SymbolicState":
+        return SymbolicState(
+            dict(self.fields), list(self.extracted), list(self.notes)
+        )
+
+    def get(self, path: str, width: int) -> ValueSet:
+        existing = self.fields.get(path)
+        if existing is None:
+            existing = ValueSet.any_(width)
+            self.fields[path] = existing
+        return existing
+
+    def set(self, path: str, value_set: ValueSet) -> None:
+        self.fields[path] = value_set
+
+    def constrain_eq(self, path: str, width: int, value: int) -> None:
+        self.set(path, self.get(path, width).refine_eq(value))
+
+    def constrain_ne(self, path: str, width: int, value: int) -> None:
+        self.set(path, self.get(path, width).refine_ne(value))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def witness_value(self, path: str, width: int, preferred: int | None = None) -> int:
+        return self.get(path, width).pick(preferred)

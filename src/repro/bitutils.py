@@ -1,0 +1,207 @@
+"""Bit-precise helpers shared by the packet and P4 subsystems.
+
+All data-plane values are non-negative integers paired with an explicit bit
+width, mirroring P4's ``bit<N>`` type. These helpers keep the width
+bookkeeping in one place so the rest of the code can treat values as plain
+ints.
+"""
+
+from __future__ import annotations
+
+from .exceptions import PacketError
+
+__all__ = [
+    "mask",
+    "truncate",
+    "check_width",
+    "bytes_needed",
+    "int_to_bytes",
+    "bytes_to_int",
+    "get_bits",
+    "set_bits",
+    "concat_bits",
+    "slice_bits",
+    "rotate_left",
+    "rotate_right",
+    "sign_extend",
+    "ones_complement_sum",
+    "popcount",
+    "reverse_bits",
+    "hexdump",
+]
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits (``mask(8) == 0xFF``)."""
+    if width < 0:
+        raise ValueError(f"negative bit width: {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to its low ``width`` bits (P4 wrap-around)."""
+    return value & mask(width)
+
+
+def check_width(value: int, width: int, what: str = "value") -> int:
+    """Validate that ``value`` fits in ``width`` bits and return it.
+
+    Raises :class:`PacketError` when the value is negative or too wide.
+    """
+    if value < 0:
+        raise PacketError(f"{what} must be non-negative, got {value}")
+    if value > mask(width):
+        raise PacketError(
+            f"{what} {value:#x} does not fit in {width} bits "
+            f"(max {mask(width):#x})"
+        )
+    return value
+
+
+def bytes_needed(bit_width: int) -> int:
+    """Number of whole bytes required to hold ``bit_width`` bits."""
+    return (bit_width + 7) // 8
+
+
+def int_to_bytes(value: int, bit_width: int) -> bytes:
+    """Serialize ``value`` as big-endian bytes covering ``bit_width`` bits.
+
+    The width is rounded up to whole bytes; the value is validated first.
+    """
+    check_width(value, bit_width)
+    return value.to_bytes(bytes_needed(bit_width), "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Interpret ``data`` as a big-endian unsigned integer."""
+    return int.from_bytes(data, "big")
+
+
+def get_bits(data: bytes, bit_offset: int, bit_width: int) -> int:
+    """Extract ``bit_width`` bits starting at ``bit_offset`` from ``data``.
+
+    Bits are numbered MSB-first within the byte string, matching network
+    header diagrams: bit 0 is the most significant bit of ``data[0]``.
+    """
+    if bit_offset < 0 or bit_width < 0:
+        raise PacketError("bit offset and width must be non-negative")
+    end = bit_offset + bit_width
+    if end > len(data) * 8:
+        raise PacketError(
+            f"bit range [{bit_offset}, {end}) exceeds buffer "
+            f"of {len(data) * 8} bits"
+        )
+    first_byte = bit_offset // 8
+    last_byte = (end + 7) // 8
+    chunk = bytes_to_int(data[first_byte:last_byte])
+    # Shift out the trailing bits that belong to the next field.
+    tail = (last_byte * 8) - end
+    return (chunk >> tail) & mask(bit_width)
+
+
+def set_bits(data: bytearray, bit_offset: int, bit_width: int, value: int) -> None:
+    """Write ``value`` into ``bit_width`` bits of ``data`` at ``bit_offset``.
+
+    Mutates ``data`` in place. Bit numbering matches :func:`get_bits`.
+    """
+    check_width(value, bit_width, "field value")
+    end = bit_offset + bit_width
+    if end > len(data) * 8:
+        raise PacketError(
+            f"bit range [{bit_offset}, {end}) exceeds buffer "
+            f"of {len(data) * 8} bits"
+        )
+    first_byte = bit_offset // 8
+    last_byte = (end + 7) // 8
+    span = last_byte - first_byte
+    chunk = bytes_to_int(bytes(data[first_byte:last_byte]))
+    tail = (last_byte * 8) - end
+    field_mask = mask(bit_width) << tail
+    chunk = (chunk & ~field_mask) | ((value << tail) & field_mask)
+    data[first_byte:last_byte] = chunk.to_bytes(span, "big")
+
+
+def concat_bits(parts: list[tuple[int, int]]) -> tuple[int, int]:
+    """Concatenate ``(value, width)`` pairs MSB-first.
+
+    Returns the combined ``(value, total_width)`` pair, mirroring P4's
+    ``++`` operator.
+    """
+    value = 0
+    total = 0
+    for part_value, part_width in parts:
+        check_width(part_value, part_width, "concat operand")
+        value = (value << part_width) | part_value
+        total += part_width
+    return value, total
+
+
+def slice_bits(value: int, width: int, high: int, low: int) -> int:
+    """P4 bit-slice ``value[high:low]`` of a ``width``-bit value."""
+    if not 0 <= low <= high < width:
+        raise PacketError(
+            f"slice [{high}:{low}] out of range for a {width}-bit value"
+        )
+    return (value >> low) & mask(high - low + 1)
+
+
+def rotate_left(value: int, width: int, amount: int) -> int:
+    """Rotate a ``width``-bit value left by ``amount`` bits."""
+    amount %= width
+    value = truncate(value, width)
+    return truncate((value << amount) | (value >> (width - amount)), width)
+
+
+def rotate_right(value: int, width: int, amount: int) -> int:
+    """Rotate a ``width``-bit value right by ``amount`` bits."""
+    amount %= width
+    value = truncate(value, width)
+    return truncate((value >> amount) | (value << (width - amount)), width)
+
+
+def sign_extend(value: int, width: int, new_width: int) -> int:
+    """Sign-extend a ``width``-bit two's-complement value to ``new_width``."""
+    if new_width < width:
+        raise PacketError("cannot sign-extend to a narrower width")
+    value = truncate(value, width)
+    if value >> (width - 1):
+        value |= mask(new_width) ^ mask(width)
+    return value
+
+
+def ones_complement_sum(words: list[int]) -> int:
+    """16-bit one's-complement sum used by IPv4/TCP/UDP checksums."""
+    total = 0
+    for word in words:
+        total += word & 0xFFFF
+        total = (total & 0xFFFF) + (total >> 16)
+    # Fold any remaining carry.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value``."""
+    return bin(value).count("1") if value >= 0 else -1
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the bit order of a ``width``-bit value."""
+    value = truncate(value, width)
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def hexdump(data: bytes, width: int = 16) -> str:
+    """Render ``data`` as a classic offset/hex/ascii dump for debugging."""
+    lines = []
+    for offset in range(0, len(data), width):
+        chunk = data[offset : offset + width]
+        hexpart = " ".join(f"{b:02x}" for b in chunk)
+        asciipart = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"{offset:08x}  {hexpart:<{width * 3}} |{asciipart}|")
+    return "\n".join(lines)

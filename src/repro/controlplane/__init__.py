@@ -1,0 +1,5 @@
+"""Control-plane runtime management (P4Runtime-like API)."""
+
+from .runtime import RuntimeAPI
+
+__all__ = ["RuntimeAPI"]

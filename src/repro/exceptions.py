@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can
+catch a single base class at API boundaries while tests can assert on the
+precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PacketError(ReproError):
+    """Malformed packet data or an out-of-range field access."""
+
+
+class ParseError(PacketError):
+    """A packet could not be parsed against a header layout."""
+
+
+class ChecksumError(PacketError):
+    """A checksum verification failed."""
+
+
+class P4Error(ReproError):
+    """Base class for errors in the P4 intermediate representation."""
+
+
+class P4TypeError(P4Error):
+    """A type mismatch inside a P4 program (field widths, header names)."""
+
+
+class P4ValidationError(P4Error):
+    """A P4 program failed static well-formedness validation."""
+
+
+class P4RuntimeError(P4Error):
+    """The interpreter hit an illegal state while executing a program."""
+
+
+class CompileError(ReproError):
+    """The target compiler rejected a program outright."""
+
+
+class TargetError(ReproError):
+    """A simulated hardware target misbehaved or was misconfigured."""
+
+
+class ControlPlaneError(ReproError):
+    """An invalid control-plane operation (bad entry, unknown table)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class NetDebugError(ReproError):
+    """The NetDebug framework was misconfigured or misused."""
+
+
+class VerificationError(ReproError):
+    """The formal-verification baseline hit an unsupported construct."""

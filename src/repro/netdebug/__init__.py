@@ -1,0 +1,65 @@
+"""NetDebug: the programmable validation framework (the paper's system)."""
+
+from .checker import (
+    CheckRule,
+    ExpectedOutput,
+    ExprCheck,
+    LatencyCheck,
+    OutputChecker,
+    PredicateCheck,
+)
+from .controller import NetDebugController, StatusSample
+from .generator import FieldFuzz, FieldSweep, PacketGenerator, StreamSpec
+from .localization import (
+    LocalizationResult,
+    bisect_fault,
+    localize,
+    localize_fault,
+)
+from .report import (
+    Capability,
+    CheckOutcome,
+    Finding,
+    LatencyStats,
+    SessionReport,
+    StreamStats,
+)
+from .regression import RegressionSuite, record_suite, replay_suite
+from .session import ValidationSession, reference_expectation, run_session
+from .testpacket import PROBE_MAGIC, ProbeInfo, decode_probe, is_probe, make_probe
+
+__all__ = [
+    "PacketGenerator",
+    "StreamSpec",
+    "FieldSweep",
+    "FieldFuzz",
+    "OutputChecker",
+    "CheckRule",
+    "ExprCheck",
+    "PredicateCheck",
+    "LatencyCheck",
+    "ExpectedOutput",
+    "NetDebugController",
+    "StatusSample",
+    "ValidationSession",
+    "run_session",
+    "reference_expectation",
+    "RegressionSuite",
+    "record_suite",
+    "replay_suite",
+    "LocalizationResult",
+    "localize",
+    "localize_fault",
+    "bisect_fault",
+    "SessionReport",
+    "CheckOutcome",
+    "Finding",
+    "StreamStats",
+    "LatencyStats",
+    "Capability",
+    "make_probe",
+    "decode_probe",
+    "is_probe",
+    "ProbeInfo",
+    "PROBE_MAGIC",
+]

@@ -1,0 +1,150 @@
+"""Regression artifacts: freeze a validation run, replay it later.
+
+A validation session's inputs and oracle expectations can be exported as
+a pair of files — a pcap of the injected frames and a JSON expectation
+list — and replayed against any device later. This is the workflow for
+catching regressions across program revisions, compiler updates, or
+target migrations: record once on a known-good build, replay everywhere.
+
+The artifacts are self-contained and tool-agnostic: the pcap opens in
+any analyzer, and the JSON is the checker's native expectation format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import NetDebugError
+from ..packet.pcap import PcapRecord, read_pcap, write_pcap
+from ..target.device import NetworkDevice
+from .checker import ExpectedOutput, OutputChecker
+from .report import SessionReport
+from .session import reference_expectation
+
+__all__ = ["RegressionSuite", "record_suite", "replay_suite"]
+
+
+def _expectation_to_dict(expectation: ExpectedOutput) -> dict:
+    return {
+        "wire": expectation.wire.hex() if expectation.wire is not None else None,
+        "fields": dict(expectation.fields),
+        "egress_port": expectation.egress_port,
+        "forbid": expectation.forbid,
+        "label": expectation.label,
+    }
+
+
+def _expectation_from_dict(data: dict) -> ExpectedOutput:
+    return ExpectedOutput(
+        wire=bytes.fromhex(data["wire"]) if data["wire"] is not None else None,
+        fields={k: int(v) for k, v in data["fields"].items()},
+        egress_port=data["egress_port"],
+        forbid=data["forbid"],
+        label=data["label"],
+    )
+
+
+@dataclass
+class RegressionSuite:
+    """A frozen workload plus its expected outcomes."""
+
+    name: str
+    frames: list[bytes]
+    expectations: list[ExpectedOutput]
+
+    def __post_init__(self) -> None:
+        if len(self.frames) != len(self.expectations):
+            raise NetDebugError(
+                f"suite {self.name!r}: {len(self.frames)} frames vs "
+                f"{len(self.expectations)} expectations"
+            )
+
+    # -- persistence -----------------------------------------------------
+    def save(self, directory: str | Path) -> tuple[Path, Path]:
+        """Write ``<name>.pcap`` and ``<name>.expect.json`` files."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        pcap_path = directory / f"{self.name}.pcap"
+        json_path = directory / f"{self.name}.expect.json"
+        write_pcap(
+            pcap_path,
+            [
+                PcapRecord(frame, timestamp_us=index)
+                for index, frame in enumerate(self.frames)
+            ],
+        )
+        json_path.write_text(
+            json.dumps(
+                {
+                    "name": self.name,
+                    "expectations": [
+                        _expectation_to_dict(e) for e in self.expectations
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return pcap_path, json_path
+
+    @classmethod
+    def load(cls, directory: str | Path, name: str) -> "RegressionSuite":
+        """Read a suite previously written by :meth:`save`."""
+        directory = Path(directory)
+        frames = [
+            record.data
+            for record in read_pcap(directory / f"{name}.pcap")
+        ]
+        payload = json.loads(
+            (directory / f"{name}.expect.json").read_text()
+        )
+        return cls(
+            name=payload["name"],
+            frames=frames,
+            expectations=[
+                _expectation_from_dict(e) for e in payload["expectations"]
+            ],
+        )
+
+
+def record_suite(
+    device: NetworkDevice,
+    frames: list[bytes],
+    name: str = "regression",
+) -> RegressionSuite:
+    """Freeze a workload against the device's *current* program spec.
+
+    Expectations come from the reference oracle on the loaded program
+    (including its installed table entries), so the suite captures
+    intended behaviour — replaying it on a target whose implementation
+    diverges from that spec fails, which is the point.
+    """
+    expectations = [
+        reference_expectation(device.program, frame, label=f"{name}#{i}")
+        for i, frame in enumerate(frames)
+    ]
+    return RegressionSuite(name, list(frames), expectations)
+
+
+def replay_suite(
+    device: NetworkDevice, suite: RegressionSuite
+) -> SessionReport:
+    """Replay a frozen suite on ``device`` and report divergences."""
+    checker = OutputChecker(device)
+    with checker:
+        for frame, expectation in zip(suite.frames, suite.expectations):
+            checker.arm(expectation)
+            device.inject(frame)
+            checker.disarm()
+    return SessionReport(
+        session=f"replay-{suite.name}",
+        device=device.name,
+        program=device.program.name,
+        checks=checker.outcomes(),
+        findings=list(checker.findings),
+        streams=dict(checker.streams),
+        latency=checker.latency,
+        injected=len(suite.frames),
+        observed=checker.observed,
+    )

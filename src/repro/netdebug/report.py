@@ -1,0 +1,249 @@
+"""Result types for NetDebug validation runs.
+
+Everything the software tool collects funnels into these dataclasses: per
+check-rule outcomes, per-stream sequence accounting, latency statistics,
+and an overall session verdict with a printable summary.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = [
+    "Capability",
+    "CheckOutcome",
+    "Finding",
+    "StreamStats",
+    "LatencyStats",
+    "SessionReport",
+]
+
+
+class Capability(str, Enum):
+    """Figure 2 capability grades."""
+
+    FULL = "full"
+    PARTIAL = "partial"
+    NONE = "none"
+
+    @classmethod
+    def from_score(cls, score: float) -> "Capability":
+        """Map a 0..1 challenge-suite score onto a grade."""
+        if score >= 0.9:
+            return cls.FULL
+        if score >= 0.25:
+            return cls.PARTIAL
+        return cls.NONE
+
+
+@dataclass
+class CheckOutcome:
+    """Aggregate result of one checker rule."""
+
+    rule: str
+    checked: int = 0
+    passed: int = 0
+    failed: int = 0
+    first_failure: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected problem, with enough context to act on.
+
+    ``kind`` examples: ``check_failed``, ``unexpected_output``,
+    ``missing_output``, ``sequence_loss``, ``target_deviation``,
+    ``fault_localized``, ``limit_mismatch``.
+    """
+
+    kind: str
+    message: str
+    stage: str = ""
+    stream_id: int | None = None
+
+
+@dataclass
+class StreamStats:
+    """Per-stream sequence accounting from probe headers."""
+
+    stream_id: int
+    sent: int = 0
+    received: int = 0
+    lost: int = 0
+    reordered: int = 0
+    duplicated: int = 0
+    last_seq: int | None = None
+    seen: set = field(default_factory=set)
+
+    def record_rx(self, seq_no: int) -> None:
+        self.received += 1
+        if seq_no in self.seen:
+            self.duplicated += 1
+        else:
+            self.seen.add(seq_no)
+        if self.last_seq is not None and seq_no < self.last_seq:
+            self.reordered += 1
+        self.last_seq = (
+            seq_no if self.last_seq is None else max(self.last_seq, seq_no)
+        )
+
+    def finalize(self) -> None:
+        self.lost = max(0, self.sent - len(self.seen))
+
+
+@dataclass
+class LatencyStats:
+    """In-device latency distribution, in clock cycles."""
+
+    samples: list[int] = field(default_factory=list)
+
+    def record(self, cycles: int) -> None:
+        self.samples.append(cycles)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    @property
+    def p50(self) -> float:
+        return (
+            statistics.median(self.samples) if self.samples else 0.0
+        )
+
+    @property
+    def p99(self) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(len(ordered) * 0.99))
+        return float(ordered[index])
+
+    @property
+    def max(self) -> int:
+        return max(self.samples) if self.samples else 0
+
+    def to_microseconds(self, clock_mhz: int) -> dict[str, float]:
+        scale = 1.0 / clock_mhz  # cycles -> microseconds
+        return {
+            "mean_us": self.mean * scale,
+            "p50_us": self.p50 * scale,
+            "p99_us": self.p99 * scale,
+            "max_us": self.max * scale,
+        }
+
+
+@dataclass
+class SessionReport:
+    """Everything one validation session produced."""
+
+    session: str
+    device: str
+    program: str
+    checks: list[CheckOutcome] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    streams: dict[int, StreamStats] = field(default_factory=dict)
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    injected: int = 0
+    observed: int = 0
+    measurements: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """True when no check failed and nothing was found."""
+        return all(c.ok for c in self.checks) and not self.findings
+
+    def findings_of(self, kind: str) -> list[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dump for archival and regression diffing."""
+        return {
+            "session": self.session,
+            "device": self.device,
+            "program": self.program,
+            "passed": self.passed,
+            "injected": self.injected,
+            "observed": self.observed,
+            "checks": [
+                {
+                    "rule": c.rule,
+                    "checked": c.checked,
+                    "passed": c.passed,
+                    "failed": c.failed,
+                    "first_failure": c.first_failure,
+                }
+                for c in self.checks
+            ],
+            "findings": [
+                {
+                    "kind": f.kind,
+                    "message": f.message,
+                    "stage": f.stage,
+                    "stream_id": f.stream_id,
+                }
+                for f in self.findings
+            ],
+            "streams": {
+                str(stream_id): {
+                    "sent": s.sent,
+                    "received": s.received,
+                    "lost": s.lost,
+                    "reordered": s.reordered,
+                    "duplicated": s.duplicated,
+                }
+                for stream_id, s in self.streams.items()
+            },
+            "latency": {
+                "count": self.latency.count,
+                "mean": self.latency.mean,
+                "p50": self.latency.p50,
+                "p99": self.latency.p99,
+                "max": self.latency.max,
+            },
+            "measurements": dict(self.measurements),
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"NetDebug session {self.session!r} on {self.device} "
+            f"(program {self.program})",
+            f"  injected={self.injected} observed={self.observed} "
+            f"verdict={'PASS' if self.passed else 'FAIL'}",
+        ]
+        for check in self.checks:
+            status = "ok" if check.ok else f"FAILED x{check.failed}"
+            lines.append(
+                f"  check {check.rule!r}: {check.checked} packets, {status}"
+            )
+            if check.first_failure:
+                lines.append(f"    first failure: {check.first_failure}")
+        for stream in self.streams.values():
+            lines.append(
+                f"  stream {stream.stream_id}: sent={stream.sent} "
+                f"rx={stream.received} lost={stream.lost} "
+                f"reordered={stream.reordered} dup={stream.duplicated}"
+            )
+        if self.latency.count:
+            lines.append(
+                f"  latency cycles: mean={self.latency.mean:.1f} "
+                f"p50={self.latency.p50:.0f} p99={self.latency.p99:.0f} "
+                f"max={self.latency.max}"
+            )
+        for key, value in self.measurements.items():
+            lines.append(f"  {key} = {value:.4g}")
+        for finding in self.findings:
+            where = f" @{finding.stage}" if finding.stage else ""
+            lines.append(f"  finding [{finding.kind}]{where}: "
+                         f"{finding.message}")
+        return "\n".join(lines)

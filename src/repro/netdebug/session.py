@@ -1,0 +1,159 @@
+"""Validation sessions: the unit of work the software tool executes.
+
+A :class:`ValidationSession` declares *what to test*: the test streams to
+inject, the programmable checks to run at a tap, and how expected outputs
+are derived — explicitly, or from the **reference oracle**, which executes
+the same program (and table state) under spec-faithful semantics and
+predicts the exact output bytes and egress port. Divergence between the
+oracle and the device under test is precisely how NetDebug catches target
+bugs like the missing ``reject`` state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Callable
+
+from ..exceptions import NetDebugError
+from ..p4.interpreter import Interpreter, Verdict
+from ..p4.program import P4Program
+from ..target.device import NetworkDevice
+from ..target.pipeline import TAP_OUTPUT
+from .checker import CheckRule, ExpectedOutput, OutputChecker
+from .generator import PacketGenerator, StreamSpec
+from .report import SessionReport
+from .testpacket import make_probe
+
+__all__ = ["reference_expectation", "ValidationSession", "run_session"]
+
+
+def reference_expectation(
+    program: P4Program, wire: bytes, ingress_port: int = 0, label: str = ""
+) -> ExpectedOutput:
+    """Predict the spec-correct output for ``wire`` on ``program``.
+
+    Runs the packet through a spec-faithful interpreter sharing the
+    program's installed table entries. A drop/reject prediction becomes a
+    ``forbid`` expectation; a forward prediction pins the exact output
+    bytes and egress port.
+    """
+    interp = Interpreter(program, honor_reject=True)
+    result = interp.process(wire, ingress_port=ingress_port)
+    if result.verdict is not Verdict.FORWARDED:
+        return ExpectedOutput(
+            forbid=True, label=label or f"must-drop ({result.verdict.value})"
+        )
+    return ExpectedOutput(
+        wire=result.packet.pack(),
+        egress_port=result.metadata["egress_spec"],
+        label=label or "reference-output",
+    )
+
+
+@dataclass
+class ValidationSession:
+    """A declarative test specification.
+
+    Attributes:
+        name: Session name for reports.
+        streams: Test streams to inject (in listed order).
+        checks: Programmable rules evaluated on every observed packet.
+        tap: Where the checker observes (default: the output tap).
+        use_reference_oracle: Derive an expectation per injected packet
+            from the spec-faithful interpreter.
+        expectations: Explicit per-packet expectations (overrides the
+            oracle when non-empty; must match the injection count).
+    """
+
+    name: str
+    streams: list[StreamSpec] = dc_field(default_factory=list)
+    checks: list[CheckRule] = dc_field(default_factory=list)
+    tap: str = TAP_OUTPUT
+    use_reference_oracle: bool = False
+    expectations: list[ExpectedOutput] = dc_field(default_factory=list)
+    oracle: Callable[[bytes, int], ExpectedOutput] | None = None
+
+
+def run_session(
+    device: NetworkDevice, session: ValidationSession
+) -> SessionReport:
+    """Execute a session on a device and collect the report.
+
+    Injection and checking run in lockstep: for each test packet the
+    expectation is armed, the packet is injected directly into the data
+    plane, the tap observation (synchronous in this simulation) consumes
+    the expectation, and the window is closed. The report aggregates
+    check outcomes, stream statistics, latency samples and all findings.
+    """
+    if not session.streams:
+        raise NetDebugError(f"session {session.name!r} has no streams")
+
+    generator = PacketGenerator(device)
+    for stream in session.streams:
+        generator.configure(stream)
+
+    checker = OutputChecker(device, tap=session.tap)
+    for rule in session.checks:
+        checker.add_check(rule)
+
+    explicit = list(session.expectations)
+    explicit_index = 0
+    sent_per_stream: dict[int, int] = {}
+
+    with checker:
+        for stream in session.streams:
+            sent = 0
+            for seq_no, packet in enumerate(stream.materialize()):
+                if stream.wrap:
+                    wire = make_probe(
+                        stream.stream_id,
+                        seq_no,
+                        timestamp=device.clock_cycles,
+                        inner=packet,
+                    ).pack()
+                else:
+                    wire = packet.pack()
+
+                expectation: ExpectedOutput | None = None
+                if explicit:
+                    if explicit_index >= len(explicit):
+                        raise NetDebugError(
+                            f"session {session.name!r}: fewer expectations "
+                            "than injected packets"
+                        )
+                    expectation = explicit[explicit_index]
+                    explicit_index += 1
+                elif session.oracle is not None:
+                    expectation = session.oracle(wire, 0)
+                elif session.use_reference_oracle:
+                    expectation = reference_expectation(
+                        device.program, wire,
+                        label=f"s{stream.stream_id}#{seq_no}",
+                    )
+
+                if expectation is not None:
+                    checker.arm(expectation)
+                device.inject(
+                    wire, at=stream.inject_at,
+                    timestamp=device.clock_cycles,
+                )
+                if expectation is not None:
+                    checker.disarm()
+                sent += 1
+            sent_per_stream[stream.stream_id] = sent
+        checker.finalize(
+            sent_per_stream if any(s.wrap for s in session.streams) else None
+        )
+
+    report = SessionReport(
+        session=session.name,
+        device=device.name,
+        program=device.program.name,
+        checks=checker.outcomes(),
+        findings=list(checker.findings),
+        streams=dict(checker.streams),
+        latency=checker.latency,
+        injected=sum(sent_per_stream.values()),
+        observed=checker.observed,
+    )
+    return report

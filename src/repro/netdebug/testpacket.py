@@ -1,0 +1,91 @@
+"""NetDebug test packet format.
+
+Test packets carry a dedicated header (magic, stream id, sequence number,
+injection timestamp, tap id) so the output checker can recognise them at
+line rate, account for loss/reordering per stream, and compute in-device
+latency. Two shapes are supported:
+
+* **Transparent probes** — Ethernet + netdebug header + opaque payload.
+  The DUT treats them as unknown-EtherType L2 frames; they exercise the
+  forwarding fabric without depending on the DUT program's parse graph.
+* **Carried workloads** — the probe's payload is a complete inner packet.
+  The generator unwraps it at injection time so the DUT processes the
+  *inner* packet; the checker correlates by injection order. This is how
+  NetDebug tests a program's actual functionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..packet.builder import netdebug_probe
+from ..packet.headers import ETHERNET, ETHERTYPE_NETDEBUG, NETDEBUG
+from ..packet.packet import Header, Packet
+
+__all__ = ["PROBE_MAGIC", "ProbeInfo", "make_probe", "decode_probe", "is_probe"]
+
+#: Magic value identifying NetDebug test packets ("ND" in ASCII).
+PROBE_MAGIC = 0x4E44
+
+
+@dataclass(frozen=True)
+class ProbeInfo:
+    """Decoded test-packet header plus the carried bytes."""
+
+    stream_id: int
+    seq_no: int
+    timestamp: int
+    tap_id: int
+    flags: int
+    inner: bytes
+
+    @property
+    def has_inner(self) -> bool:
+        return len(self.inner) > 0
+
+
+def make_probe(
+    stream_id: int,
+    seq_no: int,
+    timestamp: int = 0,
+    tap_id: int = 0,
+    inner: Packet | bytes = b"",
+) -> Packet:
+    """Build a test packet; see module docstring for the two shapes."""
+    if isinstance(inner, Packet):
+        return netdebug_probe(
+            stream_id, seq_no, timestamp=timestamp, tap_id=tap_id,
+            inner=inner,
+        )
+    return netdebug_probe(
+        stream_id, seq_no, timestamp=timestamp, tap_id=tap_id,
+        payload=inner,
+    )
+
+
+def is_probe(wire: bytes) -> bool:
+    """Cheap line-rate test: is this frame a NetDebug test packet?"""
+    eth_len = ETHERNET.byte_width
+    if len(wire) < eth_len + NETDEBUG.byte_width:
+        return False
+    ether_type = int.from_bytes(wire[12:14], "big")
+    if ether_type != ETHERTYPE_NETDEBUG:
+        return False
+    magic = int.from_bytes(wire[eth_len : eth_len + 2], "big")
+    return magic == PROBE_MAGIC
+
+
+def decode_probe(wire: bytes) -> ProbeInfo | None:
+    """Decode a test packet; returns None for non-probe frames."""
+    if not is_probe(wire):
+        return None
+    eth_len = ETHERNET.byte_width
+    header = Header.unpack(NETDEBUG, wire[eth_len:])
+    return ProbeInfo(
+        stream_id=header["stream_id"],
+        seq_no=header["seq_no"],
+        timestamp=header["timestamp"],
+        tap_id=header["tap_id"],
+        flags=header["flags"],
+        inner=wire[eth_len + NETDEBUG.byte_width :],
+    )

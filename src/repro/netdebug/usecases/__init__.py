@@ -1,0 +1,39 @@
+"""The paper's seven use cases (§3), each as a scored challenge suite."""
+
+from . import (
+    architecture_check,
+    comparison,
+    compiler_check,
+    functional,
+    performance,
+    resources,
+    status_monitoring,
+)
+from .base import TOOLS, USECASES, Challenge, UseCaseResult, score_suite
+
+#: Use-case name -> module with a ``run(tool, seed)`` entry point.
+USECASE_MODULES = {
+    "functional": functional,
+    "performance": performance,
+    "compiler_check": compiler_check,
+    "architecture_check": architecture_check,
+    "resources": resources,
+    "status_monitoring": status_monitoring,
+    "comparison": comparison,
+}
+
+__all__ = [
+    "TOOLS",
+    "USECASES",
+    "Challenge",
+    "UseCaseResult",
+    "score_suite",
+    "USECASE_MODULES",
+    "functional",
+    "performance",
+    "compiler_check",
+    "architecture_check",
+    "resources",
+    "status_monitoring",
+    "comparison",
+]

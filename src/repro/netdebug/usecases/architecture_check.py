@@ -1,0 +1,202 @@
+"""Use case: architecture check (§3).
+
+"Finding limitations in the architecture."
+
+Three probing challenges against the SDNet-like target's published
+:class:`~repro.target.limits.ArchLimits`:
+
+1. **parse-depth** — discover the deepest parse chain the target accepts
+   by compiling a ladder of programs; confirm the found limit matches
+   (or exposes a mismatch in) the published figure.
+2. **table-capacity** — fill a table to its claimed size through the
+   control plane and verify both the capacity and the over-capacity
+   rejection behave as published.
+3. **match-kinds** — discover which match kinds the target actually
+   builds.
+
+These need compiler and management access, which only NetDebug's
+workflow has. The external tester can black-box a limit's *symptoms* at
+best; the formal verifier has no notion of a target.
+"""
+
+from __future__ import annotations
+
+from ...exceptions import CompileError, ControlPlaneError
+from ...p4.actions import Forward
+from ...p4.dsl import ProgramBuilder
+from ...p4.expr import Const, fld
+from ...p4.program import P4Program
+from ...p4.table import MatchKind
+from ...packet.fields import HeaderSpec
+from ...target.limits import SDNET_LIMITS
+from ...target.sdnet import SDNetCompiler, make_sdnet_device
+from .base import Challenge, UseCaseResult, score_suite
+
+__all__ = ["run", "chain_program", "probe_parse_depth", "probe_table_capacity"]
+
+
+def _link_header(index: int) -> HeaderSpec:
+    """A tiny chained header: 8-bit next-proto + 8-bit payload."""
+    return HeaderSpec.build(f"link{index}", ("next_proto", 8), ("value", 8))
+
+
+def chain_program(depth: int) -> P4Program:
+    """A program whose parser extracts ``depth`` chained headers."""
+    b = ProgramBuilder(f"chain_{depth}")
+    for index in range(depth):
+        b.header(_link_header(index))
+    for index in range(depth):
+        state = b.parser_state(
+            "start" if index == 0 else f"parse{index}",
+            extracts=[f"link{index}"],
+        )
+        if index + 1 < depth:
+            state.goto(f"parse{index + 1}")
+        else:
+            state.accept()
+    b.ingress.action("out", [], [Forward(Const(0, 9))])
+    b.ingress.call("out")
+    b.emit(*[f"link{i}" for i in range(depth)])
+    return b.build()
+
+
+def probe_parse_depth(max_probe: int = 24) -> int:
+    """Largest parse depth the SDNet compiler accepts."""
+    compiler = SDNetCompiler()
+    deepest = 0
+    for depth in range(1, max_probe + 1):
+        try:
+            compiler.compile(chain_program(depth))
+            deepest = depth
+        except CompileError:
+            break
+    return deepest
+
+
+def exact_table_program(size: int) -> P4Program:
+    """A one-table program with a declared capacity of ``size``."""
+    from ...packet.headers import ETHERNET
+
+    b = ProgramBuilder(f"cap_{size}")
+    b.header(ETHERNET)
+    b.parser_state("start", extracts=["ethernet"]).accept()
+    table = b.ingress.table("fwd")
+    table.key(fld("ethernet", "dst_addr"), MatchKind.EXACT, "dmac")
+    table.action("out", [], [Forward(Const(0, 9))])
+    table.default("NoAction").size(size)
+    b.ingress.apply("fwd")
+    b.emit("ethernet")
+    return b.build()
+
+
+def probe_table_capacity(size: int) -> tuple[int, bool]:
+    """Fill a size-``size`` table; returns (installed, overflow_rejected)."""
+    device = make_sdnet_device(f"arch-cap-{size}")
+    device.load(exact_table_program(size))
+    installed = 0
+    for index in range(size):
+        device.control_plane.table_add("fwd", "out", [index], [])
+        installed += 1
+    try:
+        device.control_plane.table_add("fwd", "out", [size], [])
+        overflow_rejected = False
+    except ControlPlaneError:
+        overflow_rejected = True
+    return installed, overflow_rejected
+
+
+def probe_match_kinds() -> dict[str, bool]:
+    """Which match kinds the target actually compiles."""
+    from ...packet.headers import ETHERNET, IPV4, ETHERTYPE_IPV4
+    from ...p4.parser import ACCEPT
+
+    results: dict[str, bool] = {}
+    for kind in MatchKind:
+        b = ProgramBuilder(f"kind_{kind.value}")
+        b.header(ETHERNET)
+        b.header(IPV4)
+        b.parser_state("start", extracts=["ethernet"]).select(
+            fld("ethernet", "ether_type"),
+            [(ETHERTYPE_IPV4, "parse_ipv4")],
+            default=ACCEPT,
+        )
+        b.parser_state("parse_ipv4", extracts=["ipv4"]).accept()
+        table = b.ingress.table("probe")
+        table.key(fld("ipv4", "dst_addr"), kind, "dst")
+        table.action("out", [], [Forward(Const(0, 9))])
+        table.default("NoAction").size(16)
+        from ...p4.control import ApplyTable, If
+        from ...p4.expr import IsValid
+
+        b.ingress.stmt(If(IsValid("ipv4"), ApplyTable("probe")))
+        b.emit("ethernet", "ipv4")
+        try:
+            SDNetCompiler().compile(b.build())
+            results[kind.value] = True
+        except CompileError:
+            results[kind.value] = False
+    return results
+
+
+def run(tool: str, seed: int = 0) -> UseCaseResult:
+    """Run the architecture-check suite for one tool."""
+    if tool == "netdebug":
+        found_depth = probe_parse_depth()
+        depth_ok = found_depth == SDNET_LIMITS.max_parse_depth
+        size = 64
+        installed, overflow_rejected = probe_table_capacity(size)
+        capacity_ok = installed == size and overflow_rejected
+        kinds = probe_match_kinds()
+        kinds_ok = (
+            kinds["exact"]
+            and kinds["lpm"]
+            and kinds["ternary"]
+            and not kinds["range"]
+        )
+        challenges = [
+            Challenge(
+                "parse-depth",
+                1.0 if depth_ok else 0.0,
+                f"probed limit {found_depth}, published "
+                f"{SDNET_LIMITS.max_parse_depth}",
+            ),
+            Challenge(
+                "table-capacity",
+                1.0 if capacity_ok else 0.0,
+                f"installed {installed}/{size}, overflow "
+                f"{'rejected' if overflow_rejected else 'accepted!'}",
+            ),
+            Challenge(
+                "match-kinds",
+                1.0 if kinds_ok else 0.0,
+                f"supported: {sorted(k for k, v in kinds.items() if v)}",
+            ),
+        ]
+    elif tool == "external":
+        challenges = [
+            Challenge(
+                "parse-depth",
+                0.5,
+                "can black-box deep header stacks, cannot see the "
+                "compile-time limit",
+            ),
+            Challenge(
+                "table-capacity",
+                0.5,
+                "can infer misses when entries silently vanish, cannot "
+                "read occupancy",
+            ),
+            Challenge(
+                "match-kinds", 0.0,
+                "match-kind support is a toolchain property",
+            ),
+        ]
+    elif tool == "formal":
+        challenges = [
+            Challenge("parse-depth", 0.0, "no target model"),
+            Challenge("table-capacity", 0.0, "no target model"),
+            Challenge("match-kinds", 0.0, "no target model"),
+        ]
+    else:
+        raise ValueError(f"unknown tool {tool!r}")
+    return score_suite("architecture_check", tool, challenges)

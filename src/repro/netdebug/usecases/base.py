@@ -1,0 +1,85 @@
+"""Common scaffolding for the paper's seven use cases (§3).
+
+Each use-case module runs a *challenge suite* — concrete tasks with
+seeded defects or required measurements — for a given tool and scores the
+fraction it handles. Scores map onto Figure 2's grades via
+:meth:`repro.netdebug.report.Capability.from_score`:
+
+* ``>= 0.9``  → Full
+* ``>= 0.25`` → Partial
+* otherwise → None
+
+The three tools are NetDebug (this library's core), the software formal
+verifier (:mod:`repro.baselines.formal`) and the external tester
+(:mod:`repro.baselines.external_tester`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...exceptions import NetDebugError
+from ..report import Capability
+
+__all__ = ["TOOLS", "USECASES", "Challenge", "UseCaseResult", "score_suite"]
+
+TOOLS = ("netdebug", "formal", "external")
+
+USECASES = (
+    "functional",
+    "performance",
+    "compiler_check",
+    "architecture_check",
+    "resources",
+    "status_monitoring",
+    "comparison",
+)
+
+
+@dataclass
+class Challenge:
+    """One scored task inside a use case."""
+
+    name: str
+    score: float
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise NetDebugError(
+                f"challenge {self.name!r} score {self.score} out of [0,1]"
+            )
+
+
+@dataclass
+class UseCaseResult:
+    """Outcome of one (use case, tool) cell of Figure 2."""
+
+    usecase: str
+    tool: str
+    challenges: list[Challenge] = field(default_factory=list)
+
+    @property
+    def score(self) -> float:
+        if not self.challenges:
+            return 0.0
+        return sum(c.score for c in self.challenges) / len(self.challenges)
+
+    @property
+    def capability(self) -> Capability:
+        return Capability.from_score(self.score)
+
+    def details(self) -> list[str]:
+        return [
+            f"{c.name}: {c.score:.2f}" + (f" ({c.detail})" if c.detail else "")
+            for c in self.challenges
+        ]
+
+
+def score_suite(
+    usecase: str, tool: str, challenges: list[Challenge]
+) -> UseCaseResult:
+    """Bundle challenge outcomes into a use-case result."""
+    if tool not in TOOLS:
+        raise NetDebugError(f"unknown tool {tool!r}; expected one of {TOOLS}")
+    return UseCaseResult(usecase=usecase, tool=tool, challenges=challenges)

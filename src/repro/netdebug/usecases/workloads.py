@@ -1,0 +1,168 @@
+"""Seeded-defect workloads shared by the use-case suites.
+
+Four defect classes drive the functional/compiler scoring, one per
+visibility regime:
+
+* a **spec bug** (program logic wrong — visible in the specification),
+* a **control-plane bug** (wrong table entry — visible given operator
+  intent),
+* a **target bug** (compiled artifact deviates from the spec — invisible
+  at spec level), and
+* an **internal accounting task** (requires reading in-device state).
+"""
+
+from __future__ import annotations
+
+from ...controlplane import RuntimeAPI
+from ...p4.actions import Drop, Forward, Param
+from ...p4.dsl import ProgramBuilder
+from ...p4.expr import IsValid, fld, meta
+from ...p4.interpreter import RuntimeState
+from ...p4.parser import ACCEPT
+from ...p4.program import P4Program
+from ...p4.table import MatchKind
+from ...packet.headers import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    IPV4,
+    UDP,
+    ETHERNET,
+    ipv4,
+    mac,
+)
+from ...packet.builder import udp_packet
+
+__all__ = [
+    "buggy_acl_program",
+    "intact_acl_program",
+    "install_acl_intent",
+    "INTENT_DENY",
+    "INTENT_ALLOW",
+    "denied_packet",
+    "allowed_packet",
+    "router_with_entry",
+]
+
+#: The operator's intent for the ACL workload: deny UDP from 10.0.0.0/8
+#: to port 53, allow everything else (forward to port 1).
+INTENT_DENY = {
+    "src_ip": ipv4("10.0.0.1"),
+    "dst_ip": ipv4("192.168.0.9"),
+    "dst_port": 53,
+}
+INTENT_ALLOW = {
+    "src_ip": ipv4("172.16.0.1"),
+    "dst_ip": ipv4("192.168.0.9"),
+    "dst_port": 443,
+}
+
+
+def _acl_program(name: str, deny_actually_drops: bool) -> P4Program:
+    """A small UDP ACL; the buggy variant's deny action forgets Drop."""
+    b = ProgramBuilder(name)
+    b.header(ETHERNET)
+    b.header(IPV4)
+    b.header(UDP)
+
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(ETHERTYPE_IPV4, "parse_ipv4")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_ipv4", extracts=["ipv4"]).select(
+        fld("ipv4", "protocol"),
+        [(IPPROTO_UDP, "parse_udp")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_udp", extracts=["udp"]).accept()
+
+    acl = b.ingress.table("acl")
+    acl.key(fld("ipv4", "src_addr"), MatchKind.TERNARY, "src_ip")
+    acl.key(fld("udp", "dst_port"), MatchKind.TERNARY, "dport")
+    # The seeded spec bug: deny's body is empty, so "denied" traffic
+    # falls through to the forwarding default.
+    acl.action("deny", [], [Drop()] if deny_actually_drops else [])
+    acl.action("allow", [], [])
+    acl.default("allow").size(64)
+
+    from ...p4.control import ApplyTable, Call, If, Seq
+
+    b.ingress.action(
+        "to_uplink", [("nport", 9)], [Forward(Param("nport", 9))]
+    )
+    b.ingress.stmt(
+        If(
+            IsValid("udp"),
+            Seq.of(ApplyTable("acl")),
+        )
+    )
+    b.ingress.when(meta("drop").eq(0), Call("to_uplink", (1,)))
+
+    b.emit("ethernet", "ipv4", "udp")
+    program = b.build()
+    return program
+
+
+def buggy_acl_program() -> P4Program:
+    """ACL whose deny action is a no-op — the seeded spec bug."""
+    return _acl_program("acl_buggy", deny_actually_drops=False)
+
+
+def intact_acl_program() -> P4Program:
+    """The corrected ACL, for sanity baselines."""
+    return _acl_program("acl_ok", deny_actually_drops=True)
+
+
+def install_acl_intent(program: P4Program) -> None:
+    """Install the operator's deny rule (10.0.0.0/8 → port 53)."""
+    api = RuntimeAPI(program, RuntimeState.for_program(program))
+    api.table_add(
+        "acl",
+        "deny",
+        [(ipv4("10.0.0.0"), 0xFF000000), (53, 0xFFFF)],
+        [],
+        priority=10,
+    )
+
+
+def denied_packet() -> bytes:
+    """A packet the intent says must be dropped."""
+    return udp_packet(
+        INTENT_DENY["dst_ip"],
+        INTENT_DENY["src_ip"],
+        INTENT_DENY["dst_port"],
+        3333,
+        payload=b"denied",
+    ).pack()
+
+
+def allowed_packet() -> bytes:
+    """A packet the intent says must be forwarded to port 1."""
+    return udp_packet(
+        INTENT_ALLOW["dst_ip"],
+        INTENT_ALLOW["src_ip"],
+        INTENT_ALLOW["dst_port"],
+        4444,
+        payload=b"allowed",
+    ).pack()
+
+
+def router_with_entry(
+    installed_port: int, prefix: str = "10.0.0.0", prefix_len: int = 8
+) -> P4Program:
+    """An IPv4 router with one route installed at ``installed_port``.
+
+    The control-plane-bug challenge installs the wrong port and checks
+    which tools notice the divergence from intent.
+    """
+    from ...p4.stdlib import ipv4_router
+
+    program = ipv4_router()
+    api = RuntimeAPI(program, RuntimeState.for_program(program))
+    api.table_add(
+        "ipv4_lpm",
+        "route",
+        [(ipv4(prefix), prefix_len)],
+        [mac("aa:bb:cc:dd:ee:01"), installed_port],
+    )
+    return program

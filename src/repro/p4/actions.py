@@ -1,0 +1,213 @@
+"""Actions and primitive statements.
+
+An :class:`Action` is a named, parameterized sequence of primitive
+statements, as in P4. Primitives cover the operations the paper's use cases
+need: field assignment, header add/remove, drop/forward, counters,
+registers and hashes. Action parameters are referenced inside primitive
+expressions with :class:`Param` nodes and bound at call time from the table
+entry's action data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..exceptions import P4RuntimeError, P4TypeError
+from .expr import EvalContext, Expr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .types import TypeEnv
+
+__all__ = [
+    "Param",
+    "Primitive",
+    "SetField",
+    "SetMeta",
+    "AddHeader",
+    "RemoveHeader",
+    "Drop",
+    "Forward",
+    "NoOp",
+    "CountPacket",
+    "RegisterWrite",
+    "RegisterRead",
+    "HashField",
+    "Exit",
+    "Action",
+    "NOACTION",
+]
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A reference to an action parameter, bound from table action data."""
+
+    name: str
+    bits: int
+
+    def width(self, env: "TypeEnv") -> int:
+        return self.bits
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        raise P4RuntimeError(
+            f"unbound action parameter {self.name!r}; actions must be "
+            "invoked through Action.execute"
+        )
+
+
+class Primitive:
+    """Base class for primitive statements inside an action body."""
+
+    #: Relative hardware cost used by the resource model (ALU slots).
+    cost: int = 1
+
+
+@dataclass(frozen=True)
+class SetField(Primitive):
+    """``header.field = expr``."""
+
+    header: str
+    field: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SetMeta(Primitive):
+    """``metadata[name] = expr``."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class AddHeader(Primitive):
+    """Make ``header`` valid (push it onto the stack if absent).
+
+    ``after`` names an existing header to insert behind; ``None`` inserts
+    at the front of the stack.
+    """
+
+    header: str
+    after: str | None = None
+    cost: int = 2
+
+
+@dataclass(frozen=True)
+class RemoveHeader(Primitive):
+    """Invalidate ``header`` (it will not be deparsed)."""
+
+    header: str
+    cost: int = 2
+
+
+@dataclass(frozen=True)
+class Drop(Primitive):
+    """Mark the packet to be dropped at the end of the pipeline."""
+
+
+@dataclass(frozen=True)
+class Forward(Primitive):
+    """Set the egress port from an expression."""
+
+    port: Expr
+
+
+@dataclass(frozen=True)
+class NoOp(Primitive):
+    """Do nothing (the body of ``NoAction``)."""
+
+    cost: int = 0
+
+
+@dataclass(frozen=True)
+class CountPacket(Primitive):
+    """Increment counter ``name`` at index ``index``."""
+
+    name: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class RegisterWrite(Primitive):
+    """``register[name][index] = expr``."""
+
+    name: str
+    index: Expr
+    value: Expr
+    cost: int = 2
+
+
+@dataclass(frozen=True)
+class RegisterRead(Primitive):
+    """Read ``register[name][index]`` into a metadata field."""
+
+    name: str
+    index: Expr
+    into: str
+    cost: int = 2
+
+
+@dataclass(frozen=True)
+class HashField(Primitive):
+    """Hash the listed expressions into a metadata field, mod ``modulo``.
+
+    Models P4's ``hash()`` extern with a CRC-like mixing function; the
+    exact function does not matter for validation, stability does.
+    """
+
+    into: str
+    inputs: tuple[Expr, ...]
+    modulo: int
+    cost: int = 4
+
+
+@dataclass(frozen=True)
+class Exit(Primitive):
+    """Terminate pipeline processing for this packet immediately."""
+
+
+@dataclass
+class Action:
+    """A named action: parameters plus a primitive body."""
+
+    name: str
+    params: list[Param] = field(default_factory=list)
+    body: list[Primitive] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.params]
+        if len(names) != len(set(names)):
+            raise P4TypeError(
+                f"action {self.name!r} has duplicate parameter names"
+            )
+
+    @property
+    def param_names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+    def bind(self, args: tuple[int, ...] | list[int]) -> dict[str, int]:
+        """Map positional action data to a parameter-name binding."""
+        if len(args) != len(self.params):
+            raise P4TypeError(
+                f"action {self.name!r} takes {len(self.params)} args, "
+                f"got {len(args)}"
+            )
+        binding: dict[str, int] = {}
+        for param, arg in zip(self.params, args):
+            if arg < 0 or arg.bit_length() > param.bits:
+                raise P4TypeError(
+                    f"argument {arg} does not fit parameter "
+                    f"{param.name!r} ({param.bits} bits)"
+                )
+            binding[param.name] = arg
+        return binding
+
+    @property
+    def alu_cost(self) -> int:
+        """Total primitive cost, used by the resource model."""
+        return sum(p.cost for p in self.body)
+
+
+#: The canonical no-op action present in every table's action list.
+NOACTION = Action("NoAction", [], [NoOp()])

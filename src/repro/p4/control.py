@@ -1,0 +1,161 @@
+"""Control-flow IR for ingress/egress blocks.
+
+A control block is a tree of statements: table applications, conditionals
+on expressions or on the result of a table application, direct action
+calls, and sequences. This matches the structural subset of P4₁₆ control
+blocks that map onto fixed match-action pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import P4ValidationError
+from .actions import Action
+from .expr import Expr
+from .table import Table
+
+__all__ = [
+    "Stmt",
+    "ApplyTable",
+    "If",
+    "IfHit",
+    "Call",
+    "Seq",
+    "Control",
+]
+
+
+class Stmt:
+    """Base class of control statements."""
+
+
+@dataclass(frozen=True)
+class ApplyTable(Stmt):
+    """``table.apply()``."""
+
+    table: str
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if (cond) { then } else { otherwise }``."""
+
+    cond: Expr
+    then: "Stmt"
+    otherwise: "Stmt | None" = None
+
+
+@dataclass(frozen=True)
+class IfHit(Stmt):
+    """``if (table.apply().hit) { then } else { otherwise }``.
+
+    The table is applied exactly once; the branch depends on whether an
+    installed entry matched.
+    """
+
+    table: str
+    then: "Stmt | None" = None
+    otherwise: "Stmt | None" = None
+
+
+@dataclass(frozen=True)
+class Call(Stmt):
+    """Direct action invocation with literal arguments."""
+
+    action: str
+    args: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Seq(Stmt):
+    """A sequence of statements executed in order."""
+
+    body: tuple[Stmt, ...]
+
+    @classmethod
+    def of(cls, *stmts: Stmt | None) -> "Seq":
+        return cls(tuple(s for s in stmts if s is not None))
+
+
+@dataclass
+class Control:
+    """A named control block: local tables, actions, and a body."""
+
+    name: str
+    tables: dict[str, Table] = field(default_factory=dict)
+    actions: dict[str, Action] = field(default_factory=dict)
+    body: Stmt = field(default_factory=lambda: Seq(()))
+
+    def declare_table(self, table: Table) -> Table:
+        if table.name in self.tables:
+            raise P4ValidationError(
+                f"control {self.name!r} already has table {table.name!r}"
+            )
+        self.tables[table.name] = table
+        return table
+
+    def declare_action(self, action: Action) -> Action:
+        if action.name in self.actions and self.actions[action.name] is not action:
+            raise P4ValidationError(
+                f"control {self.name!r} already has action {action.name!r}"
+            )
+        self.actions[action.name] = action
+        return action
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise P4ValidationError(
+                f"control {self.name!r} has no table {name!r}"
+            ) from None
+
+    def action(self, name: str) -> Action:
+        try:
+            return self.actions[name]
+        except KeyError:
+            raise P4ValidationError(
+                f"control {self.name!r} has no action {name!r}"
+            ) from None
+
+    def applied_tables(self) -> list[str]:
+        """Names of tables applied anywhere in the body, in program order."""
+        order: list[str] = []
+
+        def walk(stmt: Stmt | None) -> None:
+            if stmt is None:
+                return
+            if isinstance(stmt, ApplyTable):
+                order.append(stmt.table)
+            elif isinstance(stmt, IfHit):
+                order.append(stmt.table)
+                walk(stmt.then)
+                walk(stmt.otherwise)
+            elif isinstance(stmt, If):
+                walk(stmt.then)
+                walk(stmt.otherwise)
+            elif isinstance(stmt, Seq):
+                for child in stmt.body:
+                    walk(child)
+
+        walk(self.body)
+        return order
+
+    def max_depth(self) -> int:
+        """Longest chain of dependent table applications (pipeline depth)."""
+
+        def depth(stmt: Stmt | None) -> int:
+            if stmt is None:
+                return 0
+            if isinstance(stmt, ApplyTable):
+                return 1
+            if isinstance(stmt, IfHit):
+                return 1 + max(depth(stmt.then), depth(stmt.otherwise))
+            if isinstance(stmt, If):
+                return max(depth(stmt.then), depth(stmt.otherwise))
+            if isinstance(stmt, Seq):
+                return sum(depth(child) for child in stmt.body)
+            return 0
+
+        return depth(self.body)

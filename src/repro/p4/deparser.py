@@ -1,0 +1,31 @@
+"""Deparser IR: the ordered list of headers emitted onto the wire.
+
+Per P4 semantics only *valid* headers are emitted; the payload follows the
+last emitted header unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import P4ValidationError
+
+__all__ = ["Deparser"]
+
+
+@dataclass
+class Deparser:
+    """Emit order for a program's headers."""
+
+    emit_order: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.emit_order) != len(set(self.emit_order)):
+            raise P4ValidationError("deparser emits a header twice")
+
+    def add(self, header: str) -> None:
+        if header in self.emit_order:
+            raise P4ValidationError(
+                f"deparser already emits header {header!r}"
+            )
+        self.emit_order.append(header)

@@ -1,0 +1,377 @@
+"""Expression AST for P4-like programs.
+
+Expressions appear in action bodies, control-flow conditions, select keys
+and table keys. The AST is deliberately small and closed: every node knows
+its bit width (given a :class:`~repro.p4.types.TypeEnv`) and can be
+evaluated concretely here, or symbolically by the formal-verification
+baseline which walks the same node types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..bitutils import check_width, mask, slice_bits, truncate
+from ..exceptions import P4RuntimeError, P4TypeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..packet.packet import Packet
+    from .types import TypeEnv
+
+__all__ = [
+    "Expr",
+    "Const",
+    "FieldRef",
+    "MetaRef",
+    "IsValid",
+    "BinOp",
+    "UnOp",
+    "Slice",
+    "Concat",
+    "Mux",
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "const",
+    "fld",
+    "meta",
+]
+
+
+class EvalContext:
+    """Concrete evaluation context: a packet plus its metadata mapping."""
+
+    __slots__ = ("packet", "metadata")
+
+    def __init__(self, packet: "Packet", metadata: dict[str, int]):
+        self.packet = packet
+        self.metadata = metadata
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    def width(self, env: "TypeEnv") -> int:
+        raise NotImplementedError
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    # Operator sugar so DSL users can write ``fld("ipv4","ttl") - 1``.
+    def _bin(self, op: str, other: "Expr | int") -> "BinOp":
+        if isinstance(other, int):
+            other = Const(other)
+        return BinOp(op, self, other)
+
+    def __add__(self, other):  # noqa: D105 - operator sugar
+        return self._bin("+", other)
+
+    def __sub__(self, other):
+        return self._bin("-", other)
+
+    def __and__(self, other):
+        return self._bin("&", other)
+
+    def __or__(self, other):
+        return self._bin("|", other)
+
+    def __xor__(self, other):
+        return self._bin("^", other)
+
+    def __lshift__(self, other):
+        return self._bin("<<", other)
+
+    def __rshift__(self, other):
+        return self._bin(">>", other)
+
+    def eq(self, other):
+        """Equality comparison node (``==`` is reserved for identity)."""
+        return self._bin("==", other)
+
+    def ne(self, other):
+        return self._bin("!=", other)
+
+    def lt(self, other):
+        return self._bin("<", other)
+
+    def le(self, other):
+        return self._bin("<=", other)
+
+    def gt(self, other):
+        return self._bin(">", other)
+
+    def ge(self, other):
+        return self._bin(">=", other)
+
+    def land(self, other):
+        """Logical AND (non-zero test on both operands)."""
+        return self._bin("and", other)
+
+    def lor(self, other):
+        return self._bin("or", other)
+
+    def lnot(self):
+        return UnOp("!", self)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer literal; ``width_hint`` pins the width when given."""
+
+    value: int
+    width_hint: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise P4TypeError(f"P4 constants are unsigned, got {self.value}")
+        if self.width_hint is not None:
+            check_width(self.value, self.width_hint, "constant")
+
+    def width(self, env: "TypeEnv") -> int:
+        if self.width_hint is not None:
+            return self.width_hint
+        return max(self.value.bit_length(), 1)
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FieldRef(Expr):
+    """A reference to ``header.field``."""
+
+    header: str
+    field: str
+
+    @property
+    def path(self) -> str:
+        return f"{self.header}.{self.field}"
+
+    def width(self, env: "TypeEnv") -> int:
+        return env.field_width(self.header, self.field)
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        header = ctx.packet.get_or_none(self.header)
+        if header is None or not header.valid:
+            raise P4RuntimeError(
+                f"read of field {self.path!r} on invalid header"
+            )
+        return header[self.field]
+
+
+@dataclass(frozen=True)
+class MetaRef(Expr):
+    """A reference to a (standard or user) metadata field."""
+
+    name: str
+
+    def width(self, env: "TypeEnv") -> int:
+        return env.metadata_width(self.name)
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        try:
+            return ctx.metadata[self.name]
+        except KeyError:
+            raise P4RuntimeError(
+                f"read of unset metadata field {self.name!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class IsValid(Expr):
+    """1 when the named header is present and valid, else 0."""
+
+    header: str
+
+    def width(self, env: "TypeEnv") -> int:
+        return 1
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        return 1 if ctx.packet.has(self.header) else 0
+
+
+_ARITH = {"+", "-", "*"}
+_BITWISE = {"&", "|", "^", "<<", ">>"}
+_COMPARE = {"==", "!=", "<", "<=", ">", ">="}
+_LOGICAL = {"and", "or"}
+BINARY_OPS = _ARITH | _BITWISE | _COMPARE | _LOGICAL
+UNARY_OPS = {"~", "!", "-"}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation; arithmetic wraps at the operand width (P4)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise P4TypeError(f"unknown binary operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def width(self, env: "TypeEnv") -> int:
+        if self.op in _COMPARE or self.op in _LOGICAL:
+            return 1
+        left = self.left.width(env)
+        if self.op in ("<<", ">>"):
+            return left
+        return max(left, self.right.width(env))
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        left = self.left.eval(ctx, env)
+        # P4 requires short-circuit evaluation of && and ||: the right
+        # operand must not be evaluated (it may read an invalid header)
+        # when the left side already decides.
+        if self.op == "and" and not left:
+            return 0
+        if self.op == "or" and left:
+            return 1
+        right = self.right.eval(ctx, env)
+        result_width = self.width(env)
+        if self.op == "+":
+            return truncate(left + right, result_width)
+        if self.op == "-":
+            return truncate(left - right, result_width)
+        if self.op == "*":
+            return truncate(left * right, result_width)
+        if self.op == "&":
+            return left & right
+        if self.op == "|":
+            return left | right
+        if self.op == "^":
+            return left ^ right
+        if self.op == "<<":
+            return truncate(left << right, result_width)
+        if self.op == ">>":
+            return left >> right
+        if self.op == "==":
+            return int(left == right)
+        if self.op == "!=":
+            return int(left != right)
+        if self.op == "<":
+            return int(left < right)
+        if self.op == "<=":
+            return int(left <= right)
+        if self.op == ">":
+            return int(left > right)
+        if self.op == ">=":
+            return int(left >= right)
+        if self.op == "and":
+            return int(bool(left) and bool(right))
+        if self.op == "or":
+            return int(bool(left) or bool(right))
+        raise P4RuntimeError(f"unhandled operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """A unary operation: bitwise not, logical not, or negation."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise P4TypeError(f"unknown unary operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def width(self, env: "TypeEnv") -> int:
+        return 1 if self.op == "!" else self.operand.width(env)
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        value = self.operand.eval(ctx, env)
+        width = self.operand.width(env)
+        if self.op == "~":
+            return value ^ mask(width)
+        if self.op == "!":
+            return int(not value)
+        if self.op == "-":
+            return truncate(-value, width)
+        raise P4RuntimeError(f"unhandled operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Slice(Expr):
+    """P4 bit slice ``operand[high:low]`` (inclusive bounds)."""
+
+    operand: Expr
+    high: int
+    low: int
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise P4TypeError(f"bad slice bounds [{self.high}:{self.low}]")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def width(self, env: "TypeEnv") -> int:
+        return self.high - self.low + 1
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        value = self.operand.eval(ctx, env)
+        return slice_bits(value, self.operand.width(env), self.high, self.low)
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """P4 ``++`` bit concatenation, left operand in the high bits."""
+
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def width(self, env: "TypeEnv") -> int:
+        return self.left.width(env) + self.right.width(env)
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        right_width = self.right.width(env)
+        return (self.left.eval(ctx, env) << right_width) | self.right.eval(
+            ctx, env
+        )
+
+
+@dataclass(frozen=True)
+class Mux(Expr):
+    """Ternary conditional ``cond ? then : otherwise``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.then, self.otherwise)
+
+    def width(self, env: "TypeEnv") -> int:
+        return max(self.then.width(env), self.otherwise.width(env))
+
+    def eval(self, ctx: EvalContext, env: "TypeEnv") -> int:
+        if self.cond.eval(ctx, env):
+            return self.then.eval(ctx, env)
+        return self.otherwise.eval(ctx, env)
+
+
+def const(value: int, width: int | None = None) -> Const:
+    """Shorthand constructor for :class:`Const`."""
+    return Const(value, width)
+
+
+def fld(header: str, field: str) -> FieldRef:
+    """Shorthand constructor for :class:`FieldRef`."""
+    return FieldRef(header, field)
+
+
+def meta(name: str) -> MetaRef:
+    """Shorthand constructor for :class:`MetaRef`."""
+    return MetaRef(name)

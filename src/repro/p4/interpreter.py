@@ -1,0 +1,577 @@
+"""Spec-faithful interpreter for P4-like programs.
+
+The interpreter defines the *reference semantics* that every target is
+judged against: parse → ingress → egress → deparse, with ``reject``
+dropping the packet as the P4₁₆ specification requires. Targets
+(:mod:`repro.target`) reuse these routines but may deviate deliberately —
+the SDNet-like target's missing ``reject`` state is implemented as exactly
+such a deviation.
+
+Every run produces a :class:`Trace` of fine-grained events. The trace is
+what NetDebug's internal tap points observe; external tools only ever see
+the final :class:`PipelineResult`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..bitutils import truncate
+from ..exceptions import P4RuntimeError
+from ..packet.packet import Header, Packet
+from .actions import (
+    Action,
+    AddHeader,
+    CountPacket,
+    Drop,
+    Exit,
+    Forward,
+    HashField,
+    NoOp,
+    Param,
+    Primitive,
+    RegisterRead,
+    RegisterWrite,
+    RemoveHeader,
+    SetField,
+    SetMeta,
+)
+from .control import ApplyTable, Call, Control, If, IfHit, Seq, Stmt
+from .expr import BinOp, Concat, Const, EvalContext, Expr, FieldRef, IsValid, MetaRef, Mux, Slice, UnOp
+from .parser import ACCEPT, REJECT, Parser
+from .program import P4Program
+from .types import (
+    PARSER_ERROR_DEPTH_EXCEEDED,
+    PARSER_ERROR_HEADER_TOO_SHORT,
+    PARSER_ERROR_REJECT,
+    PARSER_ERROR_VERIFY_FAILED,
+    standard_metadata_defaults,
+)
+
+__all__ = [
+    "Verdict",
+    "TraceEvent",
+    "Trace",
+    "RuntimeState",
+    "PipelineResult",
+    "Interpreter",
+    "bind_expr",
+]
+
+#: Safety bound on parser steps, to terminate cyclic parser graphs.
+MAX_PARSER_STEPS = 64
+
+
+class Verdict(str, Enum):
+    """Final disposition of a packet."""
+
+    FORWARDED = "forwarded"
+    DROPPED = "dropped"
+    PARSER_REJECTED = "parser_rejected"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of execution, visible at NetDebug tap points.
+
+    ``kind`` is one of: ``parser_state``, ``parser_extract``,
+    ``parser_verify_fail``, ``parser_accept``, ``parser_reject``,
+    ``table_apply``, ``action``, ``primitive``, ``drop``, ``forward``,
+    ``deparse``.
+    """
+
+    kind: str
+    detail: str
+    stage: str = ""
+
+
+@dataclass
+class Trace:
+    """Ordered record of everything a packet's traversal did."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, kind: str, detail: str, stage: str = "") -> None:
+        self.events.append(TraceEvent(kind, detail, stage))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def stages_visited(self) -> list[str]:
+        seen: list[str] = []
+        for event in self.events:
+            if event.stage and (not seen or seen[-1] != event.stage):
+                seen.append(event.stage)
+        return seen
+
+
+@dataclass
+class RuntimeState:
+    """Mutable stateful objects shared across packets: counters, registers.
+
+    Owned by the device, configured/observed through the control plane.
+    """
+
+    counters: dict[str, list[int]] = field(default_factory=dict)
+    registers: dict[str, list[int]] = field(default_factory=dict)
+    register_widths: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def for_program(cls, program: P4Program) -> "RuntimeState":
+        state = cls()
+        for decl in program.counters.values():
+            state.counters[decl.name] = [0] * decl.size
+        for decl in program.registers.values():
+            state.registers[decl.name] = [0] * decl.size
+            state.register_widths[decl.name] = decl.width
+        return state
+
+    def counter_value(self, name: str, index: int = 0) -> int:
+        return self.counters[name][index]
+
+    def register_value(self, name: str, index: int = 0) -> int:
+        return self.registers[name][index]
+
+
+@dataclass
+class PipelineResult:
+    """Everything a single-packet run produced."""
+
+    verdict: Verdict
+    packet: Packet | None
+    metadata: dict[str, int]
+    trace: Trace
+
+    @property
+    def egress_port(self) -> int | None:
+        if self.verdict is not Verdict.FORWARDED:
+            return None
+        return self.metadata.get("egress_spec")
+
+
+class _ExitPipeline(Exception):
+    """Internal: raised by the Exit primitive to unwind the controls."""
+
+
+class _BoundExpr(Expr):
+    """An expression with action parameters substituted by constants."""
+
+    # Implemented via bind_expr below; class exists only for typing docs.
+
+
+def bind_expr(expr: Expr, binding: dict[str, int]) -> Expr:
+    """Substitute :class:`Param` nodes with bound constant values."""
+    if isinstance(expr, Param):
+        try:
+            return Const(binding[expr.name], expr.bits)
+        except KeyError:
+            raise P4RuntimeError(
+                f"action parameter {expr.name!r} is unbound"
+            ) from None
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, bind_expr(expr.left, binding),
+                     bind_expr(expr.right, binding))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, bind_expr(expr.operand, binding))
+    if isinstance(expr, Slice):
+        return Slice(bind_expr(expr.operand, binding), expr.high, expr.low)
+    if isinstance(expr, Concat):
+        return Concat(bind_expr(expr.left, binding),
+                      bind_expr(expr.right, binding))
+    if isinstance(expr, Mux):
+        return Mux(bind_expr(expr.cond, binding),
+                   bind_expr(expr.then, binding),
+                   bind_expr(expr.otherwise, binding))
+    # Leaves (Const, FieldRef, MetaRef, IsValid) contain no params.
+    return expr
+
+
+def stable_hash(values: tuple[int, ...], modulo: int) -> int:
+    """Deterministic CRC32-based hash used by the HashField primitive."""
+    blob = b"".join(
+        v.to_bytes((v.bit_length() + 7) // 8 or 1, "big") for v in values
+    )
+    return zlib.crc32(blob) % modulo
+
+
+class Interpreter:
+    """Executes a :class:`P4Program` on packets with reference semantics.
+
+    Attributes:
+        program: The program under execution.
+        state: Stateful objects (counters/registers), shared across packets.
+        honor_reject: When False, a parser transition to ``reject`` is
+            silently treated as ``accept`` — the SDNet deviation the paper's
+            case study discovered. Reference semantics use True.
+    """
+
+    def __init__(
+        self,
+        program: P4Program,
+        state: RuntimeState | None = None,
+        honor_reject: bool = True,
+    ):
+        self.program = program
+        self.state = state or RuntimeState.for_program(program)
+        self.honor_reject = honor_reject
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        wire: bytes,
+        ingress_port: int = 0,
+        timestamp: int = 0,
+    ) -> PipelineResult:
+        """Run one packet (wire bytes) through the full pipeline."""
+        metadata = standard_metadata_defaults()
+        metadata["ingress_port"] = ingress_port
+        metadata["packet_length"] = truncate(len(wire), 16)
+        metadata["ingress_global_timestamp"] = truncate(timestamp, 48)
+        for name in self.program.env.metadata:
+            metadata.setdefault(name, 0)
+        trace = Trace()
+
+        packet, payload, accepted = self.run_parser(wire, metadata, trace)
+        if not accepted:
+            return PipelineResult(Verdict.PARSER_REJECTED, None, metadata, trace)
+        packet.payload = payload
+
+        ctx = EvalContext(packet, metadata)
+        try:
+            self.run_control(self.program.ingress, ctx, trace)
+            if not metadata["drop"]:
+                self.run_control(self.program.egress, ctx, trace)
+        except _ExitPipeline:
+            pass
+
+        if metadata["drop"]:
+            trace.add("drop", "standard_metadata.drop set", stage="egress")
+            return PipelineResult(Verdict.DROPPED, None, metadata, trace)
+
+        out = self.deparse(packet, trace)
+        trace.add("forward", f"egress_spec={metadata['egress_spec']}",
+                  stage="deparser")
+        metadata["egress_port"] = metadata["egress_spec"]
+        return PipelineResult(Verdict.FORWARDED, out, metadata, trace)
+
+    # ------------------------------------------------------------------
+    # Parser
+    # ------------------------------------------------------------------
+    def run_parser(
+        self, wire: bytes, metadata: dict[str, int], trace: Trace
+    ) -> tuple[Packet, bytes, bool]:
+        """Run the parser FSM; returns (packet, payload, accepted)."""
+        parser: Parser = self.program.parser
+        packet = Packet()
+        offset = 0
+        state_name = parser.start
+        steps = 0
+
+        def reject(code: int, why: str) -> tuple[Packet, bytes, bool]:
+            metadata["parser_error"] = code
+            if self.honor_reject:
+                trace.add("parser_reject", why, stage="parser")
+                return packet, wire[offset:], False
+            # SDNet deviation: the reject state is not implemented; the
+            # packet continues through the pipeline as if accepted.
+            trace.add(
+                "parser_reject_ignored",
+                f"{why} (target does not implement reject)",
+                stage="parser",
+            )
+            return packet, wire[offset:], True
+
+        while True:
+            if state_name == ACCEPT:
+                trace.add("parser_accept", f"consumed {offset} bytes",
+                          stage="parser")
+                return packet, wire[offset:], True
+            if state_name == REJECT:
+                return reject(PARSER_ERROR_REJECT, "explicit reject")
+            steps += 1
+            if steps > MAX_PARSER_STEPS:
+                return reject(
+                    PARSER_ERROR_DEPTH_EXCEEDED,
+                    f"parser exceeded {MAX_PARSER_STEPS} states",
+                )
+            state = parser.state(state_name)
+            trace.add("parser_state", state_name, stage="parser")
+
+            for header_name in state.extracts:
+                spec = self.program.env.header(header_name)
+                if len(wire) - offset < spec.byte_width:
+                    return reject(
+                        PARSER_ERROR_HEADER_TOO_SHORT,
+                        f"truncated {header_name} at offset {offset}",
+                    )
+                header = Header.unpack(spec, wire[offset:])
+                packet.append(header)
+                offset += spec.byte_width
+                trace.add("parser_extract", header_name, stage="parser")
+
+            ctx = EvalContext(packet, metadata)
+            if state.verify is not None:
+                cond, error_code = state.verify
+                if not cond.eval(ctx, self.program.env):
+                    trace.add(
+                        "parser_verify_fail",
+                        f"verify failed in state {state_name}",
+                        stage="parser",
+                    )
+                    result = reject(
+                        error_code or PARSER_ERROR_VERIFY_FAILED,
+                        f"verify failed in {state_name}",
+                    )
+                    if self.honor_reject:
+                        return result
+                    # Deviant target: fall through and keep parsing as if
+                    # the verify had succeeded.
+
+            transition = state.transition
+            if not transition.is_select:
+                state_name = transition.default
+                continue
+            keys = tuple(
+                key.eval(ctx, self.program.env) for key in transition.keys
+            )
+            for case in transition.cases:
+                if case.matches(keys):
+                    state_name = case.next_state
+                    break
+            else:
+                state_name = transition.default
+
+    # ------------------------------------------------------------------
+    # Controls
+    # ------------------------------------------------------------------
+    def run_control(
+        self, control: Control, ctx: EvalContext, trace: Trace
+    ) -> None:
+        self.exec_stmt(control, control.body, ctx, trace)
+
+    def exec_stmt(
+        self, control: Control, stmt: Stmt | None, ctx: EvalContext,
+        trace: Trace,
+    ) -> None:
+        if stmt is None:
+            return
+        env = self.program.env
+        if isinstance(stmt, Seq):
+            for child in stmt.body:
+                self.exec_stmt(control, child, ctx, trace)
+            return
+        if isinstance(stmt, If):
+            branch = stmt.then if stmt.cond.eval(ctx, env) else stmt.otherwise
+            self.exec_stmt(control, branch, ctx, trace)
+            return
+        if isinstance(stmt, ApplyTable):
+            self.apply_table(control, stmt.table, ctx, trace)
+            return
+        if isinstance(stmt, IfHit):
+            hit = self.apply_table(control, stmt.table, ctx, trace)
+            self.exec_stmt(
+                control, stmt.then if hit else stmt.otherwise, ctx, trace
+            )
+            return
+        if isinstance(stmt, Call):
+            action = control.action(stmt.action)
+            self.run_action(control.name, action, stmt.args, ctx, trace)
+            return
+        raise P4RuntimeError(f"unknown statement type {type(stmt).__name__}")
+
+    def apply_table(
+        self, control: Control, table_name: str, ctx: EvalContext,
+        trace: Trace,
+    ) -> bool:
+        table = control.table(table_name)
+        result = table.lookup(ctx, self.program.env)
+        trace.add(
+            "table_apply",
+            f"{table_name}: {'hit' if result.hit else 'miss'} -> "
+            f"{result.action}",
+            stage=control.name,
+        )
+        action = table.action(result.action)
+        self.run_action(
+            control.name, action, result.action_data, ctx, trace
+        )
+        return result.hit
+
+    # ------------------------------------------------------------------
+    # Actions and primitives
+    # ------------------------------------------------------------------
+    def run_action(
+        self,
+        stage: str,
+        action: Action,
+        args: tuple[int, ...],
+        ctx: EvalContext,
+        trace: Trace,
+    ) -> None:
+        binding = action.bind(args)
+        trace.add("action", action.name, stage=stage)
+        for primitive in action.body:
+            self.run_primitive(stage, primitive, binding, ctx, trace)
+
+    def run_primitive(
+        self,
+        stage: str,
+        primitive: Primitive,
+        binding: dict[str, int],
+        ctx: EvalContext,
+        trace: Trace,
+    ) -> None:
+        env = self.program.env
+        packet, metadata = ctx.packet, ctx.metadata
+
+        if isinstance(primitive, NoOp):
+            return
+        if isinstance(primitive, SetField):
+            value = bind_expr(primitive.value, binding).eval(ctx, env)
+            width = env.field_width(primitive.header, primitive.field)
+            header = packet.get_or_none(primitive.header)
+            if header is None or not header.valid:
+                raise P4RuntimeError(
+                    f"write to field of invalid header {primitive.header!r}"
+                )
+            header[primitive.field] = truncate(value, width)
+            trace.add(
+                "primitive",
+                f"set {primitive.header}.{primitive.field}="
+                f"{truncate(value, width):#x}",
+                stage=stage,
+            )
+            return
+        if isinstance(primitive, SetMeta):
+            value = bind_expr(primitive.value, binding).eval(ctx, env)
+            width = env.metadata_width(primitive.name)
+            metadata[primitive.name] = truncate(value, width)
+            trace.add(
+                "primitive",
+                f"set meta {primitive.name}={metadata[primitive.name]:#x}",
+                stage=stage,
+            )
+            return
+        if isinstance(primitive, AddHeader):
+            spec = env.header(primitive.header)
+            existing = packet.get_or_none(primitive.header)
+            if existing is not None:
+                existing.valid = True
+            else:
+                packet.push(Header(spec), after=primitive.after)
+            trace.add("primitive", f"add_header {primitive.header}",
+                      stage=stage)
+            return
+        if isinstance(primitive, RemoveHeader):
+            header = packet.get_or_none(primitive.header)
+            if header is not None:
+                header.valid = False
+            trace.add("primitive", f"remove_header {primitive.header}",
+                      stage=stage)
+            return
+        if isinstance(primitive, Drop):
+            metadata["drop"] = 1
+            trace.add("primitive", "drop", stage=stage)
+            return
+        if isinstance(primitive, Forward):
+            port = bind_expr(primitive.port, binding).eval(ctx, env)
+            metadata["egress_spec"] = truncate(port, 9)
+            metadata["drop"] = 0
+            trace.add("primitive", f"forward port={port}", stage=stage)
+            return
+        if isinstance(primitive, CountPacket):
+            index = bind_expr(primitive.index, binding).eval(ctx, env)
+            cells = self.state.counters.get(primitive.name)
+            if cells is None:
+                raise P4RuntimeError(
+                    f"undeclared counter {primitive.name!r}"
+                )
+            if not 0 <= index < len(cells):
+                raise P4RuntimeError(
+                    f"counter {primitive.name!r} index {index} out of "
+                    f"range [0, {len(cells)})"
+                )
+            cells[index] += 1
+            trace.add("primitive", f"count {primitive.name}[{index}]",
+                      stage=stage)
+            return
+        if isinstance(primitive, RegisterWrite):
+            index = bind_expr(primitive.index, binding).eval(ctx, env)
+            value = bind_expr(primitive.value, binding).eval(ctx, env)
+            cells = self.state.registers.get(primitive.name)
+            if cells is None:
+                raise P4RuntimeError(
+                    f"undeclared register {primitive.name!r}"
+                )
+            if not 0 <= index < len(cells):
+                raise P4RuntimeError(
+                    f"register {primitive.name!r} index {index} out of "
+                    f"range [0, {len(cells)})"
+                )
+            width = self.state.register_widths[primitive.name]
+            cells[index] = truncate(value, width)
+            trace.add(
+                "primitive",
+                f"reg_write {primitive.name}[{index}]={cells[index]:#x}",
+                stage=stage,
+            )
+            return
+        if isinstance(primitive, RegisterRead):
+            index = bind_expr(primitive.index, binding).eval(ctx, env)
+            cells = self.state.registers.get(primitive.name)
+            if cells is None:
+                raise P4RuntimeError(
+                    f"undeclared register {primitive.name!r}"
+                )
+            if not 0 <= index < len(cells):
+                raise P4RuntimeError(
+                    f"register {primitive.name!r} index {index} out of "
+                    f"range [0, {len(cells)})"
+                )
+            width = env.metadata_width(primitive.into)
+            metadata[primitive.into] = truncate(cells[index], width)
+            trace.add(
+                "primitive",
+                f"reg_read {primitive.name}[{index}] -> {primitive.into}",
+                stage=stage,
+            )
+            return
+        if isinstance(primitive, HashField):
+            values = tuple(
+                bind_expr(expr, binding).eval(ctx, env)
+                for expr in primitive.inputs
+            )
+            width = env.metadata_width(primitive.into)
+            metadata[primitive.into] = truncate(
+                stable_hash(values, primitive.modulo), width
+            )
+            trace.add("primitive", f"hash -> {primitive.into}", stage=stage)
+            return
+        if isinstance(primitive, Exit):
+            trace.add("primitive", "exit", stage=stage)
+            raise _ExitPipeline()
+        raise P4RuntimeError(
+            f"unknown primitive {type(primitive).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # Deparser
+    # ------------------------------------------------------------------
+    def deparse(self, packet: Packet, trace: Trace) -> Packet:
+        """Re-serialize per the deparser's emit order."""
+        emitted: list[Header] = []
+        for name in self.program.deparser.emit_order:
+            header = packet.get_or_none(name)
+            if header is not None and header.valid:
+                emitted.append(header)
+                trace.add("deparse", name, stage="deparser")
+        out = Packet(
+            headers=[h.copy() for h in emitted],
+            payload=packet.payload,
+            metadata=dict(packet.metadata),
+        )
+        return out

@@ -1,0 +1,514 @@
+"""JSON (de)serialization for P4-like programs.
+
+The format is a structural dump of the IR — comparable in spirit to the
+BMv2 JSON that real P4 compilers emit. It allows programs to be stored on
+disk, shipped to a device's management interface, and diffed between
+workflow versions (the paper's *comparison* use case).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..exceptions import P4ValidationError
+from ..packet.fields import FieldSpec, HeaderSpec
+from .actions import (
+    Action,
+    AddHeader,
+    CountPacket,
+    Drop,
+    Exit,
+    Forward,
+    HashField,
+    NoOp,
+    Param,
+    Primitive,
+    RegisterRead,
+    RegisterWrite,
+    RemoveHeader,
+    SetField,
+    SetMeta,
+)
+from .control import ApplyTable, Call, Control, If, IfHit, Seq, Stmt
+from .expr import (
+    BinOp,
+    Concat,
+    Const,
+    Expr,
+    FieldRef,
+    IsValid,
+    MetaRef,
+    Mux,
+    Slice,
+    UnOp,
+)
+from .parser import Parser, ParserState, SelectCase, Transition
+from .program import P4Program
+from .table import MatchKind, Table, TableKey
+from .types import STANDARD_METADATA, TypeEnv
+
+__all__ = [
+    "program_to_dict",
+    "program_from_dict",
+    "save_program",
+    "load_program",
+]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def expr_to_dict(expr: Expr) -> dict:
+    if isinstance(expr, Const):
+        return {"op": "const", "value": expr.value, "width": expr.width_hint}
+    if isinstance(expr, Param):
+        return {"op": "param", "name": expr.name, "width": expr.bits}
+    if isinstance(expr, FieldRef):
+        return {"op": "field", "header": expr.header, "field": expr.field}
+    if isinstance(expr, MetaRef):
+        return {"op": "meta", "name": expr.name}
+    if isinstance(expr, IsValid):
+        return {"op": "is_valid", "header": expr.header}
+    if isinstance(expr, BinOp):
+        return {
+            "op": "bin",
+            "kind": expr.op,
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, UnOp):
+        return {
+            "op": "un",
+            "kind": expr.op,
+            "operand": expr_to_dict(expr.operand),
+        }
+    if isinstance(expr, Slice):
+        return {
+            "op": "slice",
+            "operand": expr_to_dict(expr.operand),
+            "high": expr.high,
+            "low": expr.low,
+        }
+    if isinstance(expr, Concat):
+        return {
+            "op": "concat",
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, Mux):
+        return {
+            "op": "mux",
+            "cond": expr_to_dict(expr.cond),
+            "then": expr_to_dict(expr.then),
+            "otherwise": expr_to_dict(expr.otherwise),
+        }
+    raise P4ValidationError(f"unserializable expression {expr!r}")
+
+
+def expr_from_dict(data: dict) -> Expr:
+    op = data["op"]
+    if op == "const":
+        return Const(data["value"], data.get("width"))
+    if op == "param":
+        return Param(data["name"], data["width"])
+    if op == "field":
+        return FieldRef(data["header"], data["field"])
+    if op == "meta":
+        return MetaRef(data["name"])
+    if op == "is_valid":
+        return IsValid(data["header"])
+    if op == "bin":
+        return BinOp(
+            data["kind"], expr_from_dict(data["left"]),
+            expr_from_dict(data["right"]),
+        )
+    if op == "un":
+        return UnOp(data["kind"], expr_from_dict(data["operand"]))
+    if op == "slice":
+        return Slice(expr_from_dict(data["operand"]), data["high"], data["low"])
+    if op == "concat":
+        return Concat(
+            expr_from_dict(data["left"]), expr_from_dict(data["right"])
+        )
+    if op == "mux":
+        return Mux(
+            expr_from_dict(data["cond"]),
+            expr_from_dict(data["then"]),
+            expr_from_dict(data["otherwise"]),
+        )
+    raise P4ValidationError(f"unknown expression op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Primitives and actions
+# ----------------------------------------------------------------------
+def primitive_to_dict(primitive: Primitive) -> dict:
+    if isinstance(primitive, SetField):
+        return {
+            "op": "set_field",
+            "header": primitive.header,
+            "field": primitive.field,
+            "value": expr_to_dict(primitive.value),
+        }
+    if isinstance(primitive, SetMeta):
+        return {
+            "op": "set_meta",
+            "name": primitive.name,
+            "value": expr_to_dict(primitive.value),
+        }
+    if isinstance(primitive, AddHeader):
+        return {
+            "op": "add_header",
+            "header": primitive.header,
+            "after": primitive.after,
+        }
+    if isinstance(primitive, RemoveHeader):
+        return {"op": "remove_header", "header": primitive.header}
+    if isinstance(primitive, Drop):
+        return {"op": "drop"}
+    if isinstance(primitive, Forward):
+        return {"op": "forward", "port": expr_to_dict(primitive.port)}
+    if isinstance(primitive, NoOp):
+        return {"op": "no_op"}
+    if isinstance(primitive, CountPacket):
+        return {
+            "op": "count",
+            "name": primitive.name,
+            "index": expr_to_dict(primitive.index),
+        }
+    if isinstance(primitive, RegisterWrite):
+        return {
+            "op": "reg_write",
+            "name": primitive.name,
+            "index": expr_to_dict(primitive.index),
+            "value": expr_to_dict(primitive.value),
+        }
+    if isinstance(primitive, RegisterRead):
+        return {
+            "op": "reg_read",
+            "name": primitive.name,
+            "index": expr_to_dict(primitive.index),
+            "into": primitive.into,
+        }
+    if isinstance(primitive, HashField):
+        return {
+            "op": "hash",
+            "into": primitive.into,
+            "inputs": [expr_to_dict(e) for e in primitive.inputs],
+            "modulo": primitive.modulo,
+        }
+    if isinstance(primitive, Exit):
+        return {"op": "exit"}
+    raise P4ValidationError(
+        f"unserializable primitive {type(primitive).__name__}"
+    )
+
+
+def primitive_from_dict(data: dict) -> Primitive:
+    op = data["op"]
+    if op == "set_field":
+        return SetField(
+            data["header"], data["field"], expr_from_dict(data["value"])
+        )
+    if op == "set_meta":
+        return SetMeta(data["name"], expr_from_dict(data["value"]))
+    if op == "add_header":
+        return AddHeader(data["header"], data.get("after"))
+    if op == "remove_header":
+        return RemoveHeader(data["header"])
+    if op == "drop":
+        return Drop()
+    if op == "forward":
+        return Forward(expr_from_dict(data["port"]))
+    if op == "no_op":
+        return NoOp()
+    if op == "count":
+        return CountPacket(data["name"], expr_from_dict(data["index"]))
+    if op == "reg_write":
+        return RegisterWrite(
+            data["name"],
+            expr_from_dict(data["index"]),
+            expr_from_dict(data["value"]),
+        )
+    if op == "reg_read":
+        return RegisterRead(
+            data["name"], expr_from_dict(data["index"]), data["into"]
+        )
+    if op == "hash":
+        return HashField(
+            data["into"],
+            tuple(expr_from_dict(e) for e in data["inputs"]),
+            data["modulo"],
+        )
+    if op == "exit":
+        return Exit()
+    raise P4ValidationError(f"unknown primitive op {op!r}")
+
+
+def action_to_dict(action: Action) -> dict:
+    return {
+        "name": action.name,
+        "params": [{"name": p.name, "width": p.bits} for p in action.params],
+        "body": [primitive_to_dict(p) for p in action.body],
+    }
+
+
+def action_from_dict(data: dict) -> Action:
+    return Action(
+        data["name"],
+        [Param(p["name"], p["width"]) for p in data["params"]],
+        [primitive_from_dict(p) for p in data["body"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+def stmt_to_dict(stmt: Stmt | None) -> dict | None:
+    if stmt is None:
+        return None
+    if isinstance(stmt, Seq):
+        return {"op": "seq", "body": [stmt_to_dict(s) for s in stmt.body]}
+    if isinstance(stmt, ApplyTable):
+        return {"op": "apply", "table": stmt.table}
+    if isinstance(stmt, If):
+        return {
+            "op": "if",
+            "cond": expr_to_dict(stmt.cond),
+            "then": stmt_to_dict(stmt.then),
+            "otherwise": stmt_to_dict(stmt.otherwise),
+        }
+    if isinstance(stmt, IfHit):
+        return {
+            "op": "if_hit",
+            "table": stmt.table,
+            "then": stmt_to_dict(stmt.then),
+            "otherwise": stmt_to_dict(stmt.otherwise),
+        }
+    if isinstance(stmt, Call):
+        return {"op": "call", "action": stmt.action, "args": list(stmt.args)}
+    raise P4ValidationError(f"unserializable statement {stmt!r}")
+
+
+def stmt_from_dict(data: dict | None) -> Stmt | None:
+    if data is None:
+        return None
+    op = data["op"]
+    if op == "seq":
+        return Seq(tuple(stmt_from_dict(s) for s in data["body"]))
+    if op == "apply":
+        return ApplyTable(data["table"])
+    if op == "if":
+        return If(
+            expr_from_dict(data["cond"]),
+            stmt_from_dict(data["then"]),
+            stmt_from_dict(data["otherwise"]),
+        )
+    if op == "if_hit":
+        return IfHit(
+            data["table"],
+            stmt_from_dict(data["then"]),
+            stmt_from_dict(data["otherwise"]),
+        )
+    if op == "call":
+        return Call(data["action"], tuple(data["args"]))
+    raise P4ValidationError(f"unknown statement op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Parser / tables / controls / program
+# ----------------------------------------------------------------------
+def _parser_to_dict(parser: Parser) -> dict:
+    states = []
+    for state in parser.states.values():
+        transition = state.transition
+        states.append(
+            {
+                "name": state.name,
+                "extracts": list(state.extracts),
+                "verify": (
+                    None
+                    if state.verify is None
+                    else {
+                        "cond": expr_to_dict(state.verify[0]),
+                        "error": state.verify[1],
+                    }
+                ),
+                "keys": [expr_to_dict(k) for k in transition.keys],
+                "cases": [
+                    {
+                        "patterns": [list(p) for p in case.patterns],
+                        "next": case.next_state,
+                    }
+                    for case in transition.cases
+                ],
+                "default": transition.default,
+            }
+        )
+    return {"start": parser.start, "states": states}
+
+
+def _parser_from_dict(data: dict) -> Parser:
+    parser = Parser(start=data["start"])
+    for sdata in data["states"]:
+        verify = None
+        if sdata["verify"] is not None:
+            verify = (
+                expr_from_dict(sdata["verify"]["cond"]),
+                sdata["verify"]["error"],
+            )
+        transition = Transition(
+            keys=tuple(expr_from_dict(k) for k in sdata["keys"]),
+            cases=tuple(
+                SelectCase(
+                    tuple(tuple(p) for p in cdata["patterns"]), cdata["next"]
+                )
+                for cdata in sdata["cases"]
+            ),
+            default=sdata["default"],
+        )
+        parser.add_state(
+            ParserState(
+                sdata["name"], list(sdata["extracts"]), verify, transition
+            )
+        )
+    return parser
+
+
+def _table_to_dict(table: Table) -> dict:
+    return {
+        "name": table.name,
+        "keys": [
+            {
+                "expr": expr_to_dict(k.expr),
+                "kind": k.kind.value,
+                "name": k.name,
+            }
+            for k in table.keys
+        ],
+        "actions": [action_to_dict(a) for a in table.actions.values()],
+        "default_action": table.default_action,
+        "default_action_data": list(table.default_action_data),
+        "size": table.size,
+    }
+
+
+def _table_from_dict(data: dict) -> Table:
+    table = Table(
+        data["name"],
+        keys=[
+            TableKey(
+                expr_from_dict(k["expr"]), MatchKind(k["kind"]), k["name"]
+            )
+            for k in data["keys"]
+        ],
+        default_action=data["default_action"],
+        default_action_data=tuple(data["default_action_data"]),
+        size=data["size"],
+    )
+    for adata in data["actions"]:
+        table.declare_action(action_from_dict(adata))
+    return table
+
+
+def _control_to_dict(control: Control) -> dict:
+    return {
+        "name": control.name,
+        "tables": [_table_to_dict(t) for t in control.tables.values()],
+        "actions": [action_to_dict(a) for a in control.actions.values()],
+        "body": stmt_to_dict(control.body),
+    }
+
+
+def _control_from_dict(data: dict) -> Control:
+    control = Control(data["name"])
+    for tdata in data["tables"]:
+        control.declare_table(_table_from_dict(tdata))
+    for adata in data["actions"]:
+        control.declare_action(action_from_dict(adata))
+    body = stmt_from_dict(data["body"])
+    control.body = body if body is not None else Seq(())
+    return control
+
+
+def program_to_dict(program: P4Program) -> dict:
+    """Serialize a program to a JSON-compatible dict."""
+    user_meta = {
+        name: width
+        for name, width in program.env.metadata.items()
+        if name not in STANDARD_METADATA
+    }
+    return {
+        "name": program.name,
+        "headers": [
+            {
+                "name": spec.name,
+                "fields": [
+                    {"name": f.name, "width": f.width, "default": f.default}
+                    for f in spec.fields
+                ],
+            }
+            for spec in program.env.headers.values()
+        ],
+        "metadata": user_meta,
+        "parser": _parser_to_dict(program.parser),
+        "ingress": _control_to_dict(program.ingress),
+        "egress": _control_to_dict(program.egress),
+        "deparser": list(program.deparser.emit_order),
+        "counters": [
+            {"name": c.name, "size": c.size}
+            for c in program.counters.values()
+        ],
+        "registers": [
+            {"name": r.name, "size": r.size, "width": r.width}
+            for r in program.registers.values()
+        ],
+    }
+
+
+def program_from_dict(data: dict, validate: bool = True) -> P4Program:
+    """Rebuild a program from :func:`program_to_dict` output."""
+    env = TypeEnv()
+    for hdata in data["headers"]:
+        env.declare_header(
+            HeaderSpec(
+                hdata["name"],
+                tuple(
+                    FieldSpec(f["name"], f["width"], f.get("default", 0))
+                    for f in hdata["fields"]
+                ),
+            )
+        )
+    for name, width in data.get("metadata", {}).items():
+        env.declare_metadata(name, width)
+    program = P4Program(
+        name=data["name"],
+        env=env,
+        parser=_parser_from_dict(data["parser"]),
+        ingress=_control_from_dict(data["ingress"]),
+        egress=_control_from_dict(data["egress"]),
+    )
+    for header in data["deparser"]:
+        program.deparser.add(header)
+    for cdata in data.get("counters", []):
+        program.declare_counter(cdata["name"], cdata["size"])
+    for rdata in data.get("registers", []):
+        program.declare_register(rdata["name"], rdata["size"], rdata["width"])
+    if validate:
+        from .validation import validate_program
+
+        validate_program(program)
+    return program
+
+
+def save_program(program: P4Program, path: str | Path) -> None:
+    """Write a program to ``path`` as indented JSON."""
+    Path(path).write_text(json.dumps(program_to_dict(program), indent=2))
+
+
+def load_program(path: str | Path, validate: bool = True) -> P4Program:
+    """Load a program previously written by :func:`save_program`."""
+    return program_from_dict(
+        json.loads(Path(path).read_text()), validate=validate
+    )

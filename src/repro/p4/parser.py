@@ -1,0 +1,207 @@
+"""Parser state machine IR.
+
+A P4 parser is a finite state machine over the packet's leading bytes. Each
+state extracts zero or more headers, optionally verifies a condition, then
+transitions — unconditionally or via a ``select`` over key expressions —
+to another state, to ``accept``, or to ``reject``.
+
+The ``reject`` state is central to this reproduction: per the P4₁₆
+specification a packet reaching ``reject`` must not continue through the
+pipeline, but the paper's SDNet target silently omits it
+(:mod:`repro.target.sdnet`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import P4ValidationError
+from .expr import Expr
+
+__all__ = [
+    "ACCEPT",
+    "REJECT",
+    "SelectCase",
+    "Transition",
+    "ParserState",
+    "Parser",
+]
+
+#: Terminal state names. These are reserved and may not be redefined.
+ACCEPT = "accept"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class SelectCase:
+    """One arm of a ``select``: masked value patterns → next state.
+
+    ``patterns`` has one ``(value, mask)`` pair per select key; a key
+    matches when ``key & mask == value & mask``. A mask of all-ones is an
+    exact match; ``mask=0`` matches anything (the ``default`` arm is a
+    case whose patterns are all ``(0, 0)``).
+    """
+
+    patterns: tuple[tuple[int, int], ...]
+    next_state: str
+
+    def matches(self, keys: tuple[int, ...]) -> bool:
+        if len(keys) != len(self.patterns):
+            raise P4ValidationError(
+                f"select arity mismatch: {len(keys)} keys vs "
+                f"{len(self.patterns)} patterns"
+            )
+        return all(
+            (key & mask_) == (value & mask_)
+            for key, (value, mask_) in zip(keys, self.patterns)
+        )
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A state's exit: direct jump, or a ``select`` over key expressions."""
+
+    keys: tuple[Expr, ...] = ()
+    cases: tuple[SelectCase, ...] = ()
+    default: str = ACCEPT
+
+    @classmethod
+    def to(cls, state: str) -> "Transition":
+        """An unconditional transition."""
+        return cls(default=state)
+
+    @classmethod
+    def select(
+        cls,
+        keys: tuple[Expr, ...] | list[Expr],
+        cases: list[tuple[object, str]],
+        default: str = REJECT,
+    ) -> "Transition":
+        """Build a select transition from a readable case list.
+
+        Each case is ``(pattern, next_state)`` where ``pattern`` is an
+        int (exact match on one key), a ``(value, mask)`` tuple, or for
+        multi-key selects a tuple of those.
+        """
+        keys = tuple(keys)
+        compiled: list[SelectCase] = []
+        for pattern, next_state in cases:
+            if len(keys) == 1:
+                pattern = (pattern,)
+            if not isinstance(pattern, tuple):
+                raise P4ValidationError(
+                    f"select case pattern must be tuple, got {pattern!r}"
+                )
+            parts: list[tuple[int, int]] = []
+            for part in pattern:
+                if isinstance(part, tuple):
+                    value, mask_ = part
+                else:
+                    # -1 acts as an all-ones mask: ``x & -1 == x`` for the
+                    # non-negative values P4 deals in.
+                    value, mask_ = part, -1
+                parts.append((value, mask_))
+            compiled.append(SelectCase(tuple(parts), next_state))
+        return cls(keys=keys, cases=tuple(compiled), default=default)
+
+    @property
+    def is_select(self) -> bool:
+        return bool(self.keys)
+
+    def targets(self) -> set[str]:
+        """All states this transition may reach."""
+        return {case.next_state for case in self.cases} | {self.default}
+
+
+@dataclass
+class ParserState:
+    """One parser state: extracts, an optional verify, and a transition.
+
+    Attributes:
+        name: State name (not ``accept``/``reject``).
+        extracts: Header names extracted, in order, on entering the state.
+        verify: Optional ``(condition, error_code)``; when the condition
+            evaluates false the parser transitions to ``reject`` with
+            ``parser_error`` set to the code.
+        transition: How the state exits.
+    """
+
+    name: str
+    extracts: list[str] = field(default_factory=list)
+    verify: tuple[Expr, int] | None = None
+    transition: Transition = field(default_factory=lambda: Transition.to(ACCEPT))
+
+    def __post_init__(self) -> None:
+        if self.name in (ACCEPT, REJECT):
+            raise P4ValidationError(
+                f"state name {self.name!r} is reserved"
+            )
+
+
+@dataclass
+class Parser:
+    """A complete parser: named states and a start state."""
+
+    states: dict[str, ParserState] = field(default_factory=dict)
+    start: str = "start"
+
+    def add_state(self, state: ParserState) -> ParserState:
+        if state.name in self.states:
+            raise P4ValidationError(f"duplicate parser state {state.name!r}")
+        self.states[state.name] = state
+        return state
+
+    def state(self, name: str) -> ParserState:
+        try:
+            return self.states[name]
+        except KeyError:
+            raise P4ValidationError(f"unknown parser state {name!r}") from None
+
+    def reachable_states(self) -> set[str]:
+        """Names of states reachable from ``start`` (excluding terminals)."""
+        seen: set[str] = set()
+        frontier = [self.start]
+        while frontier:
+            name = frontier.pop()
+            if name in (ACCEPT, REJECT) or name in seen:
+                continue
+            seen.add(name)
+            frontier.extend(self.states[name].transition.targets())
+        return seen
+
+    def can_reach_reject(self) -> bool:
+        """True when some reachable state may transition to ``reject``."""
+        for name in self.reachable_states():
+            state = self.states[name]
+            if state.verify is not None:
+                return True
+            if REJECT in state.transition.targets():
+                return True
+        return False
+
+    def max_extract_depth(self) -> int:
+        """Upper bound on headers extracted along any path (cycle-safe)."""
+        # The parser graph is a DAG in well-formed programs; walk it with
+        # memoization and treat back-edges as depth violations elsewhere.
+        memo: dict[str, int] = {}
+        visiting: set[str] = set()
+
+        def depth(name: str) -> int:
+            if name in (ACCEPT, REJECT):
+                return 0
+            if name in memo:
+                return memo[name]
+            if name in visiting:
+                # Cycle: report a large depth so limits checks trip.
+                return 1 << 16
+            visiting.add(name)
+            state = self.states[name]
+            best = max(
+                (depth(target) for target in state.transition.targets()),
+                default=0,
+            )
+            visiting.discard(name)
+            memo[name] = len(state.extracts) + best
+            return memo[name]
+
+        return depth(self.start)

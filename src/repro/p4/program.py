@@ -1,0 +1,120 @@
+"""The complete program object.
+
+A :class:`P4Program` bundles the type environment, parser, ingress and
+egress controls, deparser, and declarations of stateful objects (counters
+and registers). It is the unit that targets compile
+(:mod:`repro.target.compiler`), the interpreter executes, the formal
+verifier analyses, and the control plane configures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import P4ValidationError
+from .control import Control
+from .deparser import Deparser
+from .parser import Parser
+from .table import Table
+from .types import TypeEnv
+
+__all__ = ["CounterDecl", "RegisterDecl", "P4Program"]
+
+
+@dataclass(frozen=True)
+class CounterDecl:
+    """A packet counter array of ``size`` cells."""
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise P4ValidationError(
+                f"counter {self.name!r} must have positive size"
+            )
+
+
+@dataclass(frozen=True)
+class RegisterDecl:
+    """A register array of ``size`` cells, each ``width`` bits wide."""
+
+    name: str
+    size: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.width <= 0:
+            raise P4ValidationError(
+                f"register {self.name!r} must have positive size and width"
+            )
+
+
+@dataclass
+class P4Program:
+    """A full data-plane program."""
+
+    name: str
+    env: TypeEnv = field(default_factory=TypeEnv)
+    parser: Parser = field(default_factory=Parser)
+    ingress: Control = field(default_factory=lambda: Control("ingress"))
+    egress: Control = field(default_factory=lambda: Control("egress"))
+    deparser: Deparser = field(default_factory=Deparser)
+    counters: dict[str, CounterDecl] = field(default_factory=dict)
+    registers: dict[str, RegisterDecl] = field(default_factory=dict)
+
+    def declare_counter(self, name: str, size: int) -> CounterDecl:
+        if name in self.counters:
+            raise P4ValidationError(f"duplicate counter {name!r}")
+        decl = CounterDecl(name, size)
+        self.counters[name] = decl
+        return decl
+
+    def declare_register(self, name: str, size: int, width: int) -> RegisterDecl:
+        if name in self.registers:
+            raise P4ValidationError(f"duplicate register {name!r}")
+        decl = RegisterDecl(name, size, width)
+        self.registers[name] = decl
+        return decl
+
+    # ------------------------------------------------------------------
+    # Aggregated views used by the compiler and verifier
+    # ------------------------------------------------------------------
+    def all_tables(self) -> dict[str, Table]:
+        """Every table in the program, keyed by name (must be unique)."""
+        tables: dict[str, Table] = {}
+        for control in (self.ingress, self.egress):
+            for name, table in control.tables.items():
+                if name in tables:
+                    raise P4ValidationError(
+                        f"table name {name!r} used in both controls"
+                    )
+                tables[name] = table
+        return tables
+
+    def table(self, name: str) -> Table:
+        tables = self.all_tables()
+        try:
+            return tables[name]
+        except KeyError:
+            raise P4ValidationError(
+                f"program {self.name!r} has no table {name!r}"
+            ) from None
+
+    def pipeline_depth(self) -> int:
+        """Dependent table applications across both controls."""
+        return self.ingress.max_depth() + self.egress.max_depth()
+
+    def summary(self) -> dict[str, int]:
+        """Size metrics used in reports and the resource model."""
+        tables = self.all_tables()
+        return {
+            "headers": len(self.env.headers),
+            "parser_states": len(self.parser.states),
+            "tables": len(tables),
+            "table_entries_capacity": sum(t.size for t in tables.values()),
+            "actions": sum(len(t.actions) for t in tables.values()),
+            "counters": len(self.counters),
+            "registers": len(self.registers),
+            "pipeline_depth": self.pipeline_depth(),
+        }

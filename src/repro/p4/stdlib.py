@@ -1,0 +1,477 @@
+"""A standard library of realistic data-plane programs.
+
+These programs are the workloads used throughout the tests, examples and
+benchmark harness. They exercise every IR construct: select parsers with
+``verify``/``reject``, exact/LPM/ternary tables, header push/pop, counters,
+registers and hashing.
+
+Each factory returns a fresh, validated :class:`~repro.p4.program.P4Program`
+whose tables start empty — populate them through the control plane
+(:mod:`repro.controlplane`).
+"""
+
+from __future__ import annotations
+
+from ..packet.headers import (
+    ETHERNET,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_MPLS,
+    ETHERTYPE_VLAN,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IPV4,
+    MPLS,
+    TCP,
+    UDP,
+    VLAN,
+)
+from .actions import (
+    AddHeader,
+    CountPacket,
+    Drop,
+    Forward,
+    HashField,
+    Param,
+    RegisterWrite,
+    RemoveHeader,
+    SetField,
+    SetMeta,
+)
+from .control import ApplyTable, Call, If, Seq
+from .dsl import ProgramBuilder
+from .expr import Const, IsValid, fld, meta
+from .parser import ACCEPT, REJECT
+from .program import P4Program
+from .table import MatchKind
+from .types import PARSER_ERROR_VERIFY_FAILED
+
+__all__ = [
+    "l2_switch",
+    "ipv4_router",
+    "acl_firewall",
+    "mpls_tunnel",
+    "strict_parser",
+    "port_counter",
+    "ecmp_load_balancer",
+    "vlan_forwarder",
+    "reflector",
+    "PROGRAMS",
+]
+
+
+def l2_switch(table_size: int = 1024) -> P4Program:
+    """A learning-style L2 switch: exact-match on destination MAC.
+
+    Misses invoke the default ``broadcast`` action which floods to the
+    configured broadcast port group (modelled as one port here).
+    """
+    b = ProgramBuilder("l2_switch")
+    b.header(ETHERNET)
+    b.parser_state("start", extracts=["ethernet"]).accept()
+
+    dmac = b.ingress.table("dmac")
+    dmac.key(fld("ethernet", "dst_addr"), MatchKind.EXACT, "dst_mac")
+    dmac.action("forward", [("port", 9)], [Forward(Param("port", 9))])
+    dmac.action("broadcast", [], [Forward(Const(0x1FF, 9))])
+    dmac.action("drop_packet", [], [Drop()])
+    dmac.default("broadcast").size(table_size)
+    b.ingress.apply("dmac")
+
+    b.emit("ethernet")
+    return b.build()
+
+
+def ipv4_router(lpm_size: int = 512) -> P4Program:
+    """An IPv4 router: LPM on dst address, TTL decrement, MAC rewrite.
+
+    The parser *rejects* packets whose IPv4 version is not 4 or whose IHL
+    is below 5 — this is the program family whose behaviour diverges on
+    targets that do not implement the ``reject`` state.
+    """
+    b = ProgramBuilder("ipv4_router")
+    b.header(ETHERNET)
+    b.header(IPV4)
+
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(ETHERTYPE_IPV4, "parse_ipv4")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_ipv4", extracts=["ipv4"]).verify(
+        fld("ipv4", "version").eq(4).land(fld("ipv4", "ihl").ge(5)),
+        PARSER_ERROR_VERIFY_FAILED,
+    ).accept()
+
+    routes = b.ingress.table("ipv4_lpm")
+    routes.key(fld("ipv4", "dst_addr"), MatchKind.LPM, "dst_ip")
+    routes.action(
+        "route",
+        [("next_hop_mac", 48), ("port", 9)],
+        [
+            SetField("ethernet", "dst_addr", Param("next_hop_mac", 48)),
+            SetField("ipv4", "ttl", fld("ipv4", "ttl") - 1),
+            Forward(Param("port", 9)),
+        ],
+    )
+    routes.action("drop_packet", [], [Drop()])
+    routes.default("drop_packet").size(lpm_size)
+
+    b.ingress.stmt(
+        If(
+            fld("ethernet", "ether_type").eq(ETHERTYPE_IPV4),
+            Seq.of(
+                If(
+                    fld("ipv4", "ttl").le(1),
+                    Call("ttl_expired"),
+                    ApplyTable("ipv4_lpm"),
+                )
+            ),
+        )
+    )
+    b.ingress.action("ttl_expired", [], [Drop()])
+
+    b.emit("ethernet", "ipv4")
+    return b.build()
+
+
+def acl_firewall(acl_size: int = 256, fwd_size: int = 256) -> P4Program:
+    """A stateless ACL firewall over the 5-tuple, then L2 forwarding.
+
+    The ACL uses ternary matching with priorities; a deny entry drops,
+    otherwise forwarding proceeds by destination MAC.
+    """
+    b = ProgramBuilder("acl_firewall")
+    b.header(ETHERNET)
+    b.header(IPV4)
+    b.header(TCP)
+    b.header(UDP)
+    b.metadata("l4_src_port", 16)
+    b.metadata("l4_dst_port", 16)
+
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(ETHERTYPE_IPV4, "parse_ipv4")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_ipv4", extracts=["ipv4"]).select(
+        fld("ipv4", "protocol"),
+        [(IPPROTO_TCP, "parse_tcp"), (IPPROTO_UDP, "parse_udp")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_tcp", extracts=["tcp"]).accept()
+    b.parser_state("parse_udp", extracts=["udp"]).accept()
+
+    b.ingress.action(
+        "set_tcp_ports",
+        [],
+        [
+            SetMeta("l4_src_port", fld("tcp", "src_port")),
+            SetMeta("l4_dst_port", fld("tcp", "dst_port")),
+        ],
+    )
+    b.ingress.action(
+        "set_udp_ports",
+        [],
+        [
+            SetMeta("l4_src_port", fld("udp", "src_port")),
+            SetMeta("l4_dst_port", fld("udp", "dst_port")),
+        ],
+    )
+
+    acl = b.ingress.table("acl")
+    acl.key(fld("ipv4", "src_addr"), MatchKind.TERNARY, "src_ip")
+    acl.key(fld("ipv4", "dst_addr"), MatchKind.TERNARY, "dst_ip")
+    acl.key(fld("ipv4", "protocol"), MatchKind.TERNARY, "proto")
+    acl.key(meta("l4_src_port"), MatchKind.TERNARY, "sport")
+    acl.key(meta("l4_dst_port"), MatchKind.TERNARY, "dport")
+    acl.action("deny", [], [Drop()])
+    acl.action("allow", [], [])
+    acl.default("allow").size(acl_size)
+
+    fwd = b.ingress.table("fwd")
+    fwd.key(fld("ethernet", "dst_addr"), MatchKind.EXACT, "dst_mac")
+    fwd.action("forward", [("port", 9)], [Forward(Param("port", 9))])
+    fwd.action("drop_packet", [], [Drop()])
+    fwd.default("drop_packet").size(fwd_size)
+
+
+    b.ingress.stmt(
+        If(
+            IsValid("ipv4"),
+            Seq.of(
+                If(IsValid("tcp"), Call("set_tcp_ports")),
+                If(IsValid("udp"), Call("set_udp_ports")),
+                ApplyTable("acl"),
+            ),
+        )
+    )
+    b.ingress.when(meta("drop").eq(0), ApplyTable("fwd"))
+
+    b.emit("ethernet", "ipv4", "tcp", "udp")
+    return b.build()
+
+
+def mpls_tunnel(size: int = 128) -> P4Program:
+    """An MPLS ingress/egress LER: push a label by FEC, pop at egress."""
+    b = ProgramBuilder("mpls_tunnel")
+    b.header(ETHERNET)
+    b.header(MPLS)
+    b.header(IPV4)
+
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [
+            (ETHERTYPE_IPV4, "parse_ipv4"),
+            (ETHERTYPE_MPLS, "parse_mpls"),
+        ],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_mpls", extracts=["mpls"]).goto("parse_ipv4")
+    b.parser_state("parse_ipv4", extracts=["ipv4"]).accept()
+
+    push = b.ingress.table("fec")
+    push.key(fld("ipv4", "dst_addr"), MatchKind.LPM, "dst_ip")
+    push.action(
+        "push_label",
+        [("label", 20), ("port", 9)],
+        [
+            AddHeader("mpls", after="ethernet"),
+            SetField("mpls", "label", Param("label", 20)),
+            SetField("mpls", "bos", Const(1, 1)),
+            SetField("mpls", "ttl", fld("ipv4", "ttl")),
+            SetField("ethernet", "ether_type", Const(ETHERTYPE_MPLS, 16)),
+            Forward(Param("port", 9)),
+        ],
+    )
+    push.action("drop_packet", [], [Drop()])
+    push.default("drop_packet").size(size)
+
+    pop = b.ingress.table("label_pop")
+    pop.key(fld("mpls", "label"), MatchKind.EXACT, "label")
+    pop.action(
+        "pop_label",
+        [("port", 9)],
+        [
+            RemoveHeader("mpls"),
+            SetField("ethernet", "ether_type", Const(ETHERTYPE_IPV4, 16)),
+            Forward(Param("port", 9)),
+        ],
+    )
+    pop.action("drop_packet", [], [Drop()])
+    pop.default("drop_packet").size(size)
+
+
+    b.ingress.stmt(
+        If(
+            IsValid("mpls"),
+            ApplyTable("label_pop"),
+            If(IsValid("ipv4"), ApplyTable("fec")),
+        )
+    )
+
+    b.emit("ethernet", "mpls", "ipv4")
+    return b.build()
+
+
+def strict_parser(forward_port: int = 1) -> P4Program:
+    """The reject-state workload from the paper's §4 case study.
+
+    The parser accepts only well-formed IPv4: anything with an unknown
+    EtherType, a bad IP version, or a bad IHL transitions to ``reject``
+    and must be dropped. The control simply forwards accepted packets to
+    ``forward_port``.
+
+    On a spec-compliant target, malformed packets never leave the device.
+    On the SDNet-like target — which does not implement ``reject`` — every
+    malformed packet is forwarded to the next hop, reproducing the severe
+    bug the paper reports.
+    """
+    b = ProgramBuilder("strict_parser")
+    b.header(ETHERNET)
+    b.header(IPV4)
+
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(ETHERTYPE_IPV4, "parse_ipv4")],
+        default=REJECT,
+    )
+    b.parser_state("parse_ipv4", extracts=["ipv4"]).verify(
+        fld("ipv4", "version").eq(4).land(fld("ipv4", "ihl").ge(5)),
+        PARSER_ERROR_VERIFY_FAILED,
+    ).accept()
+
+    b.ingress.action(
+        "to_port", [], [Forward(Const(forward_port, 9))]
+    )
+    b.ingress.call("to_port")
+
+    b.emit("ethernet", "ipv4")
+    return b.build()
+
+
+def port_counter(num_ports: int = 16) -> P4Program:
+    """Telemetry program: counts packets and bytes per ingress port.
+
+    Exercises counters and registers — the state NetDebug's status
+    monitoring use case reads through the internal interface.
+    """
+    b = ProgramBuilder("port_counter")
+    b.header(ETHERNET)
+    b.counter("per_port_pkts", num_ports)
+    b.register("last_len", num_ports, 16)
+
+    b.parser_state("start", extracts=["ethernet"]).accept()
+
+    b.ingress.action(
+        "account",
+        [],
+        [
+            CountPacket("per_port_pkts", meta("ingress_port")),
+            RegisterWrite(
+                "last_len", meta("ingress_port"), meta("packet_length")
+            ),
+            Forward(Const(0, 9)),
+        ],
+    )
+    b.ingress.call("account")
+
+    b.emit("ethernet")
+    return b.build()
+
+
+def ecmp_load_balancer(group_size: int = 4, size: int = 64) -> P4Program:
+    """An ECMP load balancer hashing the 5-tuple across a next-hop group."""
+    b = ProgramBuilder("ecmp_lb")
+    b.header(ETHERNET)
+    b.header(IPV4)
+    b.header(UDP)
+    b.metadata("ecmp_select", 16)
+
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(ETHERTYPE_IPV4, "parse_ipv4")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_ipv4", extracts=["ipv4"]).select(
+        fld("ipv4", "protocol"),
+        [(IPPROTO_UDP, "parse_udp")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_udp", extracts=["udp"]).accept()
+
+    b.ingress.action(
+        "compute_hash",
+        [],
+        [
+            HashField(
+                "ecmp_select",
+                (
+                    fld("ipv4", "src_addr"),
+                    fld("ipv4", "dst_addr"),
+                    fld("ipv4", "protocol"),
+                    fld("udp", "src_port"),
+                    fld("udp", "dst_port"),
+                ),
+                group_size,
+            )
+        ],
+    )
+
+    group = b.ingress.table("ecmp_group")
+    group.key(meta("ecmp_select"), MatchKind.EXACT, "bucket")
+    group.action(
+        "to_nexthop",
+        [("next_hop_mac", 48), ("port", 9)],
+        [
+            SetField("ethernet", "dst_addr", Param("next_hop_mac", 48)),
+            Forward(Param("port", 9)),
+        ],
+    )
+    group.action("drop_packet", [], [Drop()])
+    group.default("drop_packet").size(size)
+
+
+    b.ingress.stmt(
+        If(
+            IsValid("udp"),
+            Seq.of(Call("compute_hash"), ApplyTable("ecmp_group")),
+            Call("drop_all"),
+        )
+    )
+    b.ingress.action("drop_all", [], [Drop()])
+
+    b.emit("ethernet", "ipv4", "udp")
+    return b.build()
+
+
+def vlan_forwarder(size: int = 256) -> P4Program:
+    """Forwarding by (VLAN id, dst MAC); untagged traffic is dropped."""
+    b = ProgramBuilder("vlan_forwarder")
+    b.header(ETHERNET)
+    b.header(VLAN)
+
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(ETHERTYPE_VLAN, "parse_vlan")],
+        default="no_tag",
+    )
+    b.parser_state("parse_vlan", extracts=["vlan"]).accept()
+    b.parser_state("no_tag").accept()
+
+    fwd = b.ingress.table("vlan_fwd")
+    fwd.key(fld("vlan", "vid"), MatchKind.EXACT, "vid")
+    fwd.key(fld("ethernet", "dst_addr"), MatchKind.EXACT, "dst_mac")
+    fwd.action("forward", [("port", 9)], [Forward(Param("port", 9))])
+    fwd.action("drop_packet", [], [Drop()])
+    fwd.default("drop_packet").size(size)
+
+
+    b.ingress.stmt(
+        If(IsValid("vlan"), ApplyTable("vlan_fwd"), Call("drop_untagged"))
+    )
+    b.ingress.action("drop_untagged", [], [Drop()])
+
+    b.emit("ethernet", "vlan")
+    return b.build()
+
+
+def reflector() -> P4Program:
+    """Bounces every packet back out its ingress port with MACs swapped.
+
+    A minimal program useful for loopback-style tests of the harness
+    itself (and as a known-good DUT in checker tests).
+    """
+    b = ProgramBuilder("reflector")
+    b.header(ETHERNET)
+    b.metadata("tmp_mac", 48)
+
+    b.parser_state("start", extracts=["ethernet"]).accept()
+
+    b.ingress.action(
+        "bounce",
+        [],
+        [
+            SetMeta("tmp_mac", fld("ethernet", "dst_addr")),
+            SetField("ethernet", "dst_addr", fld("ethernet", "src_addr")),
+            SetField("ethernet", "src_addr", meta("tmp_mac")),
+            Forward(meta("ingress_port")),
+        ],
+    )
+    b.ingress.call("bounce")
+
+    b.emit("ethernet")
+    return b.build()
+
+
+#: Registry of all stdlib programs, used by suites that sweep programs.
+PROGRAMS: dict[str, object] = {
+    "l2_switch": l2_switch,
+    "ipv4_router": ipv4_router,
+    "acl_firewall": acl_firewall,
+    "mpls_tunnel": mpls_tunnel,
+    "strict_parser": strict_parser,
+    "port_counter": port_counter,
+    "ecmp_load_balancer": ecmp_load_balancer,
+    "vlan_forwarder": vlan_forwarder,
+    "reflector": reflector,
+}

@@ -1,0 +1,197 @@
+"""Extended stdlib: stateful and telemetry programs.
+
+These exercise the IR's stateful features in realistic shapes beyond the
+core suite: a register-based stateful firewall (outbound traffic opens a
+flow slot; unsolicited inbound traffic is dropped) and an INT-style
+telemetry program that stamps per-hop metadata into packets, the
+in-network-computing flavour the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from ..packet.fields import HeaderSpec
+from ..packet.headers import ETHERNET, ETHERTYPE_IPV4, IPPROTO_UDP, IPV4, UDP
+from .actions import (
+    AddHeader,
+    Drop,
+    Forward,
+    HashField,
+    RegisterRead,
+    RegisterWrite,
+    SetField,
+    SetMeta,
+)
+from .control import Call, If, Seq
+from .dsl import ProgramBuilder
+from .expr import Const, IsValid, fld, meta
+from .parser import ACCEPT
+from .program import P4Program
+
+__all__ = ["INT_HEADER", "stateful_firewall", "int_telemetry"]
+
+#: INT-style per-hop telemetry record appended after the UDP header.
+INT_HEADER = HeaderSpec.build(
+    "int_meta",
+    ("switch_id", 16),
+    ("ingress_port", 16),
+    ("hop_latency", 32),
+    ("ingress_ts", 48),
+)
+
+#: Direction port convention for the firewall: port 0 = inside,
+#: port 1 = outside.
+INSIDE_PORT = 0
+OUTSIDE_PORT = 1
+
+
+def stateful_firewall(flow_slots: int = 256) -> P4Program:
+    """A register-based stateful firewall (reflexive ACL).
+
+    Outbound packets (arriving on the inside port) hash their flow
+    5-tuple into a register slot and mark it open, then forward to the
+    outside. Inbound packets hash the *reversed* tuple and are forwarded
+    inside only when the slot is open — unsolicited inbound traffic is
+    dropped. This is the canonical "state in the data plane" program:
+    the flow table lives entirely in registers, with no control-plane
+    involvement per flow.
+    """
+    b = ProgramBuilder("stateful_firewall")
+    b.header(ETHERNET)
+    b.header(IPV4)
+    b.header(UDP)
+    b.metadata("flow_slot", 16)
+    b.metadata("slot_state", 1)
+    b.register("flow_open", flow_slots, 1)
+
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(ETHERTYPE_IPV4, "parse_ipv4")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_ipv4", extracts=["ipv4"]).select(
+        fld("ipv4", "protocol"),
+        [(IPPROTO_UDP, "parse_udp")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_udp", extracts=["udp"]).accept()
+
+    b.ingress.action(
+        "hash_outbound",
+        [],
+        [
+            HashField(
+                "flow_slot",
+                (
+                    fld("ipv4", "src_addr"),
+                    fld("ipv4", "dst_addr"),
+                    fld("udp", "src_port"),
+                    fld("udp", "dst_port"),
+                ),
+                flow_slots,
+            )
+        ],
+    )
+    b.ingress.action(
+        "hash_inbound",
+        [],
+        [
+            # The same tuple as seen from inside: reversed.
+            HashField(
+                "flow_slot",
+                (
+                    fld("ipv4", "dst_addr"),
+                    fld("ipv4", "src_addr"),
+                    fld("udp", "dst_port"),
+                    fld("udp", "src_port"),
+                ),
+                flow_slots,
+            )
+        ],
+    )
+    b.ingress.action(
+        "open_and_forward",
+        [],
+        [
+            RegisterWrite("flow_open", meta("flow_slot"), Const(1, 1)),
+            Forward(Const(OUTSIDE_PORT, 9)),
+        ],
+    )
+    b.ingress.action(
+        "check_state",
+        [],
+        [RegisterRead("flow_open", meta("flow_slot"), "slot_state")],
+    )
+    b.ingress.action("admit", [], [Forward(Const(INSIDE_PORT, 9))])
+    b.ingress.action("refuse", [], [Drop()])
+
+    b.ingress.stmt(
+        If(
+            IsValid("udp"),
+            If(
+                meta("ingress_port").eq(INSIDE_PORT),
+                Seq.of(Call("hash_outbound"), Call("open_and_forward")),
+                Seq.of(
+                    Call("hash_inbound"),
+                    Call("check_state"),
+                    If(
+                        meta("slot_state").eq(1),
+                        Call("admit"),
+                        Call("refuse"),
+                    ),
+                ),
+            ),
+            Call("refuse"),
+        )
+    )
+
+    b.emit("ethernet", "ipv4", "udp")
+    return b.build()
+
+
+def int_telemetry(switch_id: int = 1) -> P4Program:
+    """INT-style telemetry: stamp per-hop metadata into every packet.
+
+    The egress control appends an ``int_meta`` record carrying the
+    switch id, ingress port and the ingress timestamp, and forwards on a
+    fixed port. A collector (or the NetDebug checker) reads the record
+    to reconstruct per-hop paths and latencies — in-network computing of
+    the kind the paper's introduction motivates.
+    """
+    b = ProgramBuilder("int_telemetry")
+    b.header(ETHERNET)
+    b.header(IPV4)
+    b.header(UDP)
+    b.header(INT_HEADER)
+
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(ETHERTYPE_IPV4, "parse_ipv4")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_ipv4", extracts=["ipv4"]).select(
+        fld("ipv4", "protocol"),
+        [(IPPROTO_UDP, "parse_udp")],
+        default=ACCEPT,
+    )
+    b.parser_state("parse_udp", extracts=["udp"]).accept()
+
+    b.ingress.action("to_collector", [], [Forward(Const(1, 9))])
+    b.ingress.call("to_collector")
+
+    b.egress.action(
+        "stamp",
+        [],
+        [
+            AddHeader("int_meta", after="udp"),
+            SetField("int_meta", "switch_id", Const(switch_id, 16)),
+            SetField("int_meta", "ingress_port", meta("ingress_port")),
+            SetField(
+                "int_meta", "ingress_ts", meta("ingress_global_timestamp")
+            ),
+            SetField("int_meta", "hop_latency", Const(0, 32)),
+        ],
+    )
+    b.egress.stmt(If(IsValid("udp"), Call("stamp")))
+
+    b.emit("ethernet", "ipv4", "udp", "int_meta")
+    return b.build()

@@ -1,0 +1,90 @@
+"""Type declarations for P4-like programs.
+
+A program's type environment is the set of header layouts it may parse or
+emit plus the standard per-packet metadata ("intrinsic metadata" in real
+architectures). Header layouts are shared with the concrete packet model —
+see :class:`repro.packet.fields.HeaderSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import P4TypeError
+from ..packet.fields import HeaderSpec
+
+__all__ = ["STANDARD_METADATA", "TypeEnv", "standard_metadata_defaults"]
+
+#: Standard metadata fields carried alongside each packet through the
+#: pipeline, modelled on the v1model/simple_sume_switch conventions.
+STANDARD_METADATA: dict[str, int] = {
+    "ingress_port": 9,
+    "egress_spec": 9,
+    "egress_port": 9,
+    "packet_length": 16,
+    "enq_timestamp": 48,
+    "ingress_global_timestamp": 48,
+    "mcast_grp": 16,
+    "drop": 1,
+    "parser_error": 8,
+}
+
+#: ``parser_error`` codes (subset of P4₁₆ core errors).
+PARSER_ERROR_NONE = 0
+PARSER_ERROR_REJECT = 1
+PARSER_ERROR_HEADER_TOO_SHORT = 2
+PARSER_ERROR_VERIFY_FAILED = 3
+PARSER_ERROR_DEPTH_EXCEEDED = 4
+
+
+def standard_metadata_defaults() -> dict[str, int]:
+    """A fresh all-zero standard metadata mapping."""
+    return {name: 0 for name in STANDARD_METADATA}
+
+
+@dataclass
+class TypeEnv:
+    """The set of header layouts and metadata fields a program may use."""
+
+    headers: dict[str, HeaderSpec] = field(default_factory=dict)
+    metadata: dict[str, int] = field(
+        default_factory=lambda: dict(STANDARD_METADATA)
+    )
+
+    def declare_header(self, spec: HeaderSpec) -> HeaderSpec:
+        """Register a header layout; re-declaring identically is a no-op."""
+        existing = self.headers.get(spec.name)
+        if existing is not None and existing != spec:
+            raise P4TypeError(
+                f"conflicting declarations for header {spec.name!r}"
+            )
+        self.headers[spec.name] = spec
+        return spec
+
+    def declare_metadata(self, name: str, width: int) -> None:
+        """Register a user metadata field of ``width`` bits."""
+        existing = self.metadata.get(name)
+        if existing is not None and existing != width:
+            raise P4TypeError(
+                f"conflicting widths for metadata {name!r}: "
+                f"{existing} vs {width}"
+            )
+        self.metadata[name] = width
+
+    def header(self, name: str) -> HeaderSpec:
+        try:
+            return self.headers[name]
+        except KeyError:
+            raise P4TypeError(f"undeclared header {name!r}") from None
+
+    def field_width(self, header: str, fieldname: str) -> int:
+        return self.header(header).field(fieldname).width
+
+    def metadata_width(self, name: str) -> int:
+        try:
+            return self.metadata[name]
+        except KeyError:
+            raise P4TypeError(f"undeclared metadata field {name!r}") from None
+
+    def copy(self) -> "TypeEnv":
+        return TypeEnv(dict(self.headers), dict(self.metadata))

@@ -1,0 +1,260 @@
+"""Static well-formedness validation for P4-like programs.
+
+These checks run before a program is compiled to a target or executed.
+They are the moral equivalent of the P4 front-end's semantic checks:
+dangling state names, references to undeclared headers or fields, action
+arity mismatches, deparser consistency and so on. A failed check raises
+:class:`~repro.exceptions.P4ValidationError` listing every problem found.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import P4TypeError, P4ValidationError
+from .actions import (
+    Action,
+    AddHeader,
+    CountPacket,
+    HashField,
+    Param,
+    RegisterRead,
+    RegisterWrite,
+    RemoveHeader,
+    SetField,
+    SetMeta,
+)
+from .control import ApplyTable, Call, Control, If, IfHit, Seq, Stmt
+from .expr import Expr, FieldRef, IsValid, MetaRef
+from .parser import ACCEPT, REJECT
+from .program import P4Program
+
+__all__ = ["validate_program", "collect_expr_refs"]
+
+
+def collect_expr_refs(expr: Expr) -> tuple[set[tuple[str, str]], set[str]]:
+    """All (header, field) and metadata names an expression reads."""
+    fields: set[tuple[str, str]] = set()
+    metas: set[str] = set()
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, FieldRef):
+            fields.add((node.header, node.field))
+        elif isinstance(node, MetaRef):
+            metas.add(node.name)
+        elif isinstance(node, IsValid):
+            fields.add((node.header, ""))
+        for child in node.children():
+            walk(child)
+
+    walk(expr)
+    return fields, metas
+
+
+class _Validator:
+    def __init__(self, program: P4Program):
+        self.program = program
+        self.errors: list[str] = []
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    # -- expressions -----------------------------------------------------
+    def check_expr(self, expr: Expr, where: str) -> None:
+        fields, metas = collect_expr_refs(expr)
+        for header, field in fields:
+            if header not in self.program.env.headers:
+                self.error(f"{where}: undeclared header {header!r}")
+            elif field and not self.program.env.headers[header].has_field(field):
+                self.error(
+                    f"{where}: header {header!r} has no field {field!r}"
+                )
+        for name in metas:
+            if name not in self.program.env.metadata:
+                self.error(f"{where}: undeclared metadata {name!r}")
+
+    # -- parser ----------------------------------------------------------
+    def check_parser(self) -> None:
+        parser = self.program.parser
+        if parser.start in (ACCEPT, REJECT):
+            return  # degenerate but legal: parse nothing
+        if parser.start not in parser.states:
+            self.error(f"parser start state {parser.start!r} is undefined")
+            return
+        for state in parser.states.values():
+            where = f"parser state {state.name!r}"
+            for header in state.extracts:
+                if header not in self.program.env.headers:
+                    self.error(f"{where}: extracts undeclared header "
+                               f"{header!r}")
+            if state.verify is not None:
+                self.check_expr(state.verify[0], f"{where} verify")
+            transition = state.transition
+            for key in transition.keys:
+                self.check_expr(key, f"{where} select key")
+            for target in transition.targets():
+                if target not in (ACCEPT, REJECT) and target not in parser.states:
+                    self.error(
+                        f"{where}: transition to undefined state "
+                        f"{target!r}"
+                    )
+            for case in transition.cases:
+                if len(case.patterns) != len(transition.keys):
+                    self.error(
+                        f"{where}: select case arity "
+                        f"{len(case.patterns)} != {len(transition.keys)} keys"
+                    )
+
+    # -- actions -----------------------------------------------------------
+    def check_action(self, action: Action, where: str) -> None:
+        param_names = set(action.param_names)
+        for primitive in action.body:
+            pwhere = f"{where} action {action.name!r}"
+            exprs: list[Expr] = []
+            if isinstance(primitive, SetField):
+                if primitive.header not in self.program.env.headers:
+                    self.error(
+                        f"{pwhere}: set_field on undeclared header "
+                        f"{primitive.header!r}"
+                    )
+                elif not self.program.env.headers[primitive.header].has_field(
+                    primitive.field
+                ):
+                    self.error(
+                        f"{pwhere}: header {primitive.header!r} has no "
+                        f"field {primitive.field!r}"
+                    )
+                exprs.append(primitive.value)
+            elif isinstance(primitive, SetMeta):
+                if primitive.name not in self.program.env.metadata:
+                    self.error(
+                        f"{pwhere}: set_meta on undeclared metadata "
+                        f"{primitive.name!r}"
+                    )
+                exprs.append(primitive.value)
+            elif isinstance(primitive, (AddHeader, RemoveHeader)):
+                if primitive.header not in self.program.env.headers:
+                    self.error(
+                        f"{pwhere}: undeclared header {primitive.header!r}"
+                    )
+            elif isinstance(primitive, CountPacket):
+                if primitive.name not in self.program.counters:
+                    self.error(
+                        f"{pwhere}: undeclared counter {primitive.name!r}"
+                    )
+                exprs.append(primitive.index)
+            elif isinstance(primitive, RegisterWrite):
+                if primitive.name not in self.program.registers:
+                    self.error(
+                        f"{pwhere}: undeclared register {primitive.name!r}"
+                    )
+                exprs.extend((primitive.index, primitive.value))
+            elif isinstance(primitive, RegisterRead):
+                if primitive.name not in self.program.registers:
+                    self.error(
+                        f"{pwhere}: undeclared register {primitive.name!r}"
+                    )
+                if primitive.into not in self.program.env.metadata:
+                    self.error(
+                        f"{pwhere}: reg_read into undeclared metadata "
+                        f"{primitive.into!r}"
+                    )
+                exprs.append(primitive.index)
+            elif isinstance(primitive, HashField):
+                if primitive.into not in self.program.env.metadata:
+                    self.error(
+                        f"{pwhere}: hash into undeclared metadata "
+                        f"{primitive.into!r}"
+                    )
+                if primitive.modulo <= 0:
+                    self.error(f"{pwhere}: hash modulo must be positive")
+                exprs.extend(primitive.inputs)
+            for expr in exprs:
+                self.check_expr(expr, pwhere)
+                self._check_params_bound(expr, param_names, pwhere)
+
+    def _check_params_bound(
+        self, expr: Expr, params: set[str], where: str
+    ) -> None:
+        if isinstance(expr, Param) and expr.name not in params:
+            self.error(
+                f"{where}: references unknown parameter {expr.name!r}"
+            )
+        for child in expr.children():
+            self._check_params_bound(child, params, where)
+
+    # -- controls ------------------------------------------------------------
+    def check_control(self, control: Control) -> None:
+        where = f"control {control.name!r}"
+        for table in control.tables.values():
+            twhere = f"{where} table {table.name!r}"
+            for key in table.keys:
+                self.check_expr(key.expr, f"{twhere} key")
+            if table.default_action not in table.actions:
+                self.error(
+                    f"{twhere}: default action "
+                    f"{table.default_action!r} is not declared"
+                )
+            else:
+                try:
+                    table.action(table.default_action).bind(
+                        table.default_action_data
+                    )
+                except P4TypeError as exc:
+                    self.error(f"{twhere}: {exc}")
+            for action in table.actions.values():
+                self.check_action(action, twhere)
+        for action in control.actions.values():
+            self.check_action(action, where)
+        self._check_stmt(control, control.body)
+
+    def _check_stmt(self, control: Control, stmt: Stmt | None) -> None:
+        where = f"control {control.name!r}"
+        if stmt is None:
+            return
+        if isinstance(stmt, Seq):
+            for child in stmt.body:
+                self._check_stmt(control, child)
+        elif isinstance(stmt, If):
+            self.check_expr(stmt.cond, f"{where} if-condition")
+            self._check_stmt(control, stmt.then)
+            self._check_stmt(control, stmt.otherwise)
+        elif isinstance(stmt, (ApplyTable, IfHit)):
+            if stmt.table not in control.tables:
+                self.error(f"{where}: applies unknown table {stmt.table!r}")
+            if isinstance(stmt, IfHit):
+                self._check_stmt(control, stmt.then)
+                self._check_stmt(control, stmt.otherwise)
+        elif isinstance(stmt, Call):
+            if stmt.action not in control.actions:
+                self.error(f"{where}: calls unknown action {stmt.action!r}")
+            else:
+                try:
+                    control.actions[stmt.action].bind(stmt.args)
+                except P4TypeError as exc:
+                    self.error(f"{where}: {exc}")
+
+    # -- deparser --------------------------------------------------------------
+    def check_deparser(self) -> None:
+        for header in self.program.deparser.emit_order:
+            if header not in self.program.env.headers:
+                self.error(f"deparser emits undeclared header {header!r}")
+
+    def run(self) -> None:
+        self.check_parser()
+        self.check_control(self.program.ingress)
+        self.check_control(self.program.egress)
+        self.check_deparser()
+        try:
+            self.program.all_tables()
+        except P4ValidationError as exc:
+            self.error(str(exc))
+
+
+def validate_program(program: P4Program) -> None:
+    """Validate ``program``; raises with all problems on failure."""
+    validator = _Validator(program)
+    validator.run()
+    if validator.errors:
+        listing = "\n  - ".join(validator.errors)
+        raise P4ValidationError(
+            f"program {program.name!r} failed validation:\n  - {listing}"
+        )

@@ -1,0 +1,221 @@
+"""Convenience packet constructors.
+
+These helpers build common packet shapes with correct lengths and checksums
+so tests, examples and workload generators stay readable.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import PacketError
+from .checksum import update_all_checksums
+from .fields import HeaderSpec
+from .headers import (
+    ETHERNET,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_NETDEBUG,
+    ETHERTYPE_VLAN,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IPV4,
+    NETDEBUG,
+    STANDARD_HEADERS,
+    TCP,
+    UDP,
+    VLAN,
+)
+from .packet import Header, Packet
+
+__all__ = [
+    "ethernet_frame",
+    "ipv4_packet",
+    "udp_packet",
+    "tcp_packet",
+    "vlan_tagged",
+    "netdebug_probe",
+    "raw_packet",
+    "parse_ethernet",
+]
+
+
+def ethernet_frame(
+    dst: int,
+    src: int,
+    ether_type: int,
+    payload: bytes = b"",
+) -> Packet:
+    """A bare Ethernet frame with an opaque payload."""
+    eth = Header(ETHERNET, {"dst_addr": dst, "src_addr": src,
+                            "ether_type": ether_type})
+    return Packet(headers=[eth], payload=payload)
+
+
+def ipv4_packet(
+    dst: int,
+    src: int,
+    *,
+    eth_dst: int = 0xFFFFFFFFFFFF,
+    eth_src: int = 0x000000000001,
+    protocol: int = IPPROTO_UDP,
+    ttl: int = 64,
+    payload: bytes = b"",
+    fix_checksums: bool = True,
+) -> Packet:
+    """An Ethernet+IPv4 packet with a correct total length and checksum."""
+    eth = Header(ETHERNET, {"dst_addr": eth_dst, "src_addr": eth_src,
+                            "ether_type": ETHERTYPE_IPV4})
+    ip = Header(IPV4, {"src_addr": src, "dst_addr": dst,
+                       "protocol": protocol, "ttl": ttl,
+                       "total_len": IPV4.byte_width + len(payload)})
+    packet = Packet(headers=[eth, ip], payload=payload)
+    if fix_checksums:
+        update_all_checksums(packet)
+    return packet
+
+
+def udp_packet(
+    dst: int,
+    src: int,
+    dst_port: int,
+    src_port: int,
+    *,
+    payload: bytes = b"",
+    ttl: int = 64,
+    eth_dst: int = 0xFFFFFFFFFFFF,
+    eth_src: int = 0x000000000001,
+) -> Packet:
+    """An Ethernet+IPv4+UDP packet with correct lengths and checksums."""
+    packet = ipv4_packet(
+        dst, src, protocol=IPPROTO_UDP, ttl=ttl, payload=payload,
+        eth_dst=eth_dst, eth_src=eth_src, fix_checksums=False,
+    )
+    udp = Header(UDP, {"src_port": src_port, "dst_port": dst_port,
+                       "length": UDP.byte_width + len(payload)})
+    packet.push(udp, after="ipv4")
+    packet.get("ipv4")["total_len"] = (
+        IPV4.byte_width + UDP.byte_width + len(payload)
+    )
+    update_all_checksums(packet)
+    return packet
+
+
+def tcp_packet(
+    dst: int,
+    src: int,
+    dst_port: int,
+    src_port: int,
+    *,
+    seq_no: int = 0,
+    flags: int = 0x02,  # SYN
+    payload: bytes = b"",
+    ttl: int = 64,
+    eth_dst: int = 0xFFFFFFFFFFFF,
+    eth_src: int = 0x000000000001,
+) -> Packet:
+    """An Ethernet+IPv4+TCP packet with correct lengths and checksums."""
+    packet = ipv4_packet(
+        dst, src, protocol=IPPROTO_TCP, ttl=ttl, payload=payload,
+        eth_dst=eth_dst, eth_src=eth_src, fix_checksums=False,
+    )
+    tcp = Header(TCP, {"src_port": src_port, "dst_port": dst_port,
+                       "seq_no": seq_no, "flags": flags})
+    packet.push(tcp, after="ipv4")
+    packet.get("ipv4")["total_len"] = (
+        IPV4.byte_width + TCP.byte_width + len(payload)
+    )
+    update_all_checksums(packet)
+    return packet
+
+
+def vlan_tagged(packet: Packet, vid: int, pcp: int = 0) -> Packet:
+    """Insert an 802.1Q tag after the Ethernet header of ``packet``."""
+    if not packet.has("ethernet"):
+        raise PacketError("cannot VLAN-tag a packet without Ethernet")
+    tagged = packet.copy()
+    eth = tagged.get("ethernet")
+    vlan = Header(VLAN, {"vid": vid, "pcp": pcp,
+                         "ether_type": eth["ether_type"]})
+    eth["ether_type"] = ETHERTYPE_VLAN
+    tagged.push(vlan, after="ethernet")
+    return tagged
+
+
+def netdebug_probe(
+    stream_id: int,
+    seq_no: int,
+    *,
+    timestamp: int = 0,
+    tap_id: int = 0,
+    inner: Packet | None = None,
+    payload: bytes = b"",
+) -> Packet:
+    """A NetDebug test packet: Ethernet + netdebug header (+ inner bytes).
+
+    When ``inner`` is given, its serialized form becomes the probe payload,
+    letting a checker compare the carried packet against expectations.
+    """
+    eth = Header(ETHERNET, {"dst_addr": 0x0200DEB06000 & 0xFFFFFFFFFFFF,
+                            "src_addr": 0x0200DEB06001 & 0xFFFFFFFFFFFF,
+                            "ether_type": ETHERTYPE_NETDEBUG})
+    probe = Header(NETDEBUG, {"stream_id": stream_id, "seq_no": seq_no,
+                              "timestamp": timestamp, "tap_id": tap_id})
+    body = inner.pack() if inner is not None else payload
+    return Packet(headers=[eth, probe], payload=body)
+
+
+def raw_packet(data: bytes) -> Packet:
+    """Wrap raw bytes in a headerless packet (opaque to the pipeline)."""
+    return Packet(headers=[], payload=bytes(data))
+
+
+_ETHERTYPE_TO_HEADER = {
+    ETHERTYPE_IPV4: "ipv4",
+    ETHERTYPE_VLAN: "vlan",
+    ETHERTYPE_NETDEBUG: "netdebug",
+    0x86DD: "ipv6",
+    0x0806: "arp",
+    0x8847: "mpls",
+}
+
+_IPPROTO_TO_HEADER = {IPPROTO_TCP: "tcp", IPPROTO_UDP: "udp", 1: "icmp"}
+
+
+def parse_ethernet(data: bytes) -> Packet:
+    """Best-effort parse of wire bytes into a standard header stack.
+
+    This is the host-side convenience parser used by the controller and by
+    tests; the data-plane targets parse with their compiled P4 parser
+    instead. Unknown protocols end the header stack and become payload.
+    """
+    headers: list[Header] = []
+    offset = 0
+
+    def take(spec_name: str) -> Header | None:
+        nonlocal offset
+        spec: HeaderSpec = STANDARD_HEADERS[spec_name]
+        if len(data) - offset < spec.byte_width:
+            return None
+        header = Header.unpack(spec, data[offset:])
+        headers.append(header)
+        offset += spec.byte_width
+        return header
+
+    eth = take("ethernet")
+    if eth is None:
+        return raw_packet(data)
+    next_name = _ETHERTYPE_TO_HEADER.get(eth["ether_type"])
+    if next_name == "vlan":
+        vlan = take("vlan")
+        next_name = (
+            _ETHERTYPE_TO_HEADER.get(vlan["ether_type"]) if vlan else None
+        )
+    if next_name in ("ipv4", "ipv6", "arp", "mpls", "netdebug"):
+        layer3 = take(next_name)
+        if layer3 is not None and next_name == "ipv4":
+            l4_name = _IPPROTO_TO_HEADER.get(layer3["protocol"])
+            if l4_name:
+                take(l4_name)
+        elif layer3 is not None and next_name == "ipv6":
+            l4_name = _IPPROTO_TO_HEADER.get(layer3["next_hdr"])
+            if l4_name:
+                take(l4_name)
+    return Packet(headers=headers, payload=data[offset:])

@@ -1,0 +1,118 @@
+"""Internet checksum computation and verification.
+
+Implements the RFC 1071 one's-complement checksum used by IPv4, ICMP, TCP
+and UDP, plus packet-level helpers that know where each protocol stores its
+checksum and how the TCP/UDP pseudo-header is formed.
+"""
+
+from __future__ import annotations
+
+from ..bitutils import ones_complement_sum
+from ..exceptions import ChecksumError, PacketError
+from .headers import IPPROTO_TCP, IPPROTO_UDP
+from .packet import Packet
+
+__all__ = [
+    "internet_checksum",
+    "ipv4_header_checksum",
+    "update_ipv4_checksum",
+    "verify_ipv4_checksum",
+    "l4_checksum",
+    "update_l4_checksum",
+    "update_all_checksums",
+]
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 checksum of ``data`` (padded with a zero byte if odd)."""
+    if len(data) % 2:
+        data += b"\x00"
+    words = [
+        (data[i] << 8) | data[i + 1] for i in range(0, len(data), 2)
+    ]
+    return (~ones_complement_sum(words)) & 0xFFFF
+
+
+def ipv4_header_checksum(packet: Packet) -> int:
+    """Compute the correct IPv4 header checksum for ``packet``."""
+    header = packet.get("ipv4")
+    values = header.values()
+    values["hdr_checksum"] = 0
+    return internet_checksum(header.spec.pack(values))
+
+
+def update_ipv4_checksum(packet: Packet) -> None:
+    """Recompute and store the IPv4 header checksum in place."""
+    packet.get("ipv4")["hdr_checksum"] = ipv4_header_checksum(packet)
+
+
+def verify_ipv4_checksum(packet: Packet) -> bool:
+    """True when the stored IPv4 checksum matches the header contents."""
+    return packet.get("ipv4")["hdr_checksum"] == ipv4_header_checksum(packet)
+
+
+def _pseudo_header(packet: Packet, l4_length: int) -> bytes:
+    ipv4 = packet.get("ipv4")
+    return b"".join(
+        (
+            ipv4["src_addr"].to_bytes(4, "big"),
+            ipv4["dst_addr"].to_bytes(4, "big"),
+            b"\x00",
+            ipv4["protocol"].to_bytes(1, "big"),
+            l4_length.to_bytes(2, "big"),
+        )
+    )
+
+
+def l4_checksum(packet: Packet) -> int:
+    """Compute the TCP or UDP checksum (IPv4 pseudo-header form)."""
+    ipv4 = packet.get("ipv4")
+    proto = ipv4["protocol"]
+    if proto == IPPROTO_TCP:
+        l4_name, checksum_field = "tcp", "checksum"
+    elif proto == IPPROTO_UDP:
+        l4_name, checksum_field = "udp", "checksum"
+    else:
+        raise PacketError(
+            f"no layer-4 checksum defined for IP protocol {proto}"
+        )
+    l4 = packet.get(l4_name)
+    values = l4.values()
+    values[checksum_field] = 0
+    segment = l4.spec.pack(values) + packet.payload
+    checksum = internet_checksum(
+        _pseudo_header(packet, len(segment)) + segment
+    )
+    # RFC 768: a computed UDP checksum of zero is transmitted as all-ones.
+    if l4_name == "udp" and checksum == 0:
+        checksum = 0xFFFF
+    return checksum
+
+
+def update_l4_checksum(packet: Packet) -> None:
+    """Recompute and store the TCP/UDP checksum in place."""
+    ipv4 = packet.get("ipv4")
+    name = "tcp" if ipv4["protocol"] == IPPROTO_TCP else "udp"
+    packet.get(name)["checksum"] = l4_checksum(packet)
+
+
+def update_all_checksums(packet: Packet) -> None:
+    """Fix up every checksum the packet carries (L4 first, then IPv4)."""
+    if not packet.has("ipv4"):
+        return
+    proto = packet.get("ipv4")["protocol"]
+    if proto == IPPROTO_TCP and packet.has("tcp"):
+        update_l4_checksum(packet)
+    elif proto == IPPROTO_UDP and packet.has("udp"):
+        update_l4_checksum(packet)
+    update_ipv4_checksum(packet)
+
+
+def require_valid_ipv4(packet: Packet) -> None:
+    """Raise :class:`ChecksumError` when the IPv4 checksum is wrong."""
+    if not verify_ipv4_checksum(packet):
+        raise ChecksumError(
+            f"bad IPv4 header checksum: stored "
+            f"{packet.get('ipv4')['hdr_checksum']:#06x}, expected "
+            f"{ipv4_header_checksum(packet):#06x}"
+        )

@@ -1,0 +1,150 @@
+"""Header layout descriptions.
+
+A :class:`HeaderSpec` is an ordered list of named bit fields. It is the
+single source of truth for a header's wire layout and is shared between the
+concrete packet model (:mod:`repro.packet.packet`) and the P4 intermediate
+representation (:mod:`repro.p4.types`), so a program's view of a header and
+the bytes on the wire can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bitutils import bytes_needed, check_width, get_bits, mask, set_bits
+from ..exceptions import PacketError
+
+__all__ = ["FieldSpec", "HeaderSpec"]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """A single named bit field inside a header.
+
+    Attributes:
+        name: Field name, unique within its header.
+        width: Field width in bits (>= 1).
+        default: Value used when a header instance is created without an
+            explicit value for this field.
+    """
+
+    name: str
+    width: int
+    default: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PacketError("field name must be non-empty")
+        if self.width <= 0:
+            raise PacketError(f"field {self.name!r} must have positive width")
+        check_width(self.default, self.width, f"default of field {self.name!r}")
+
+    @property
+    def max_value(self) -> int:
+        """Largest value representable by this field."""
+        return mask(self.width)
+
+
+@dataclass(frozen=True)
+class HeaderSpec:
+    """An ordered, byte-aligned collection of bit fields.
+
+    The total width must be a whole number of bytes, matching the constraint
+    real hardware parsers place on header boundaries.
+    """
+
+    name: str
+    fields: tuple[FieldSpec, ...]
+    _offsets: dict[str, int] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    _by_name: dict[str, FieldSpec] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PacketError("header name must be non-empty")
+        if not self.fields:
+            raise PacketError(f"header {self.name!r} must have fields")
+        offset = 0
+        for spec in self.fields:
+            if spec.name in self._by_name:
+                raise PacketError(
+                    f"duplicate field {spec.name!r} in header {self.name!r}"
+                )
+            self._by_name[spec.name] = spec
+            self._offsets[spec.name] = offset
+            offset += spec.width
+        if offset % 8 != 0:
+            raise PacketError(
+                f"header {self.name!r} is {offset} bits, not byte-aligned"
+            )
+
+    @classmethod
+    def build(cls, name: str, *fields: tuple[str, int] | FieldSpec) -> "HeaderSpec":
+        """Convenience constructor from ``(name, width)`` tuples."""
+        specs = tuple(
+            f if isinstance(f, FieldSpec) else FieldSpec(f[0], f[1]) for f in fields
+        )
+        return cls(name, specs)
+
+    @property
+    def bit_width(self) -> int:
+        """Total header width in bits."""
+        return sum(f.width for f in self.fields)
+
+    @property
+    def byte_width(self) -> int:
+        """Total header width in whole bytes."""
+        return bytes_needed(self.bit_width)
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field(self, name: str) -> FieldSpec:
+        """Look up a field by name; raises :class:`PacketError` if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise PacketError(
+                f"header {self.name!r} has no field {name!r}"
+            ) from None
+
+    def has_field(self, name: str) -> bool:
+        return name in self._by_name
+
+    def offset_of(self, name: str) -> int:
+        """Bit offset of ``name`` from the start of the header."""
+        self.field(name)
+        return self._offsets[name]
+
+    def pack(self, values: dict[str, int]) -> bytes:
+        """Serialize a complete field-value mapping to wire bytes.
+
+        Missing fields take their defaults; unknown fields are an error.
+        """
+        unknown = set(values) - set(self._by_name)
+        if unknown:
+            raise PacketError(
+                f"unknown fields for header {self.name!r}: {sorted(unknown)}"
+            )
+        buf = bytearray(self.byte_width)
+        for spec in self.fields:
+            value = values.get(spec.name, spec.default)
+            check_width(value, spec.width, f"{self.name}.{spec.name}")
+            set_bits(buf, self._offsets[spec.name], spec.width, value)
+        return bytes(buf)
+
+    def unpack(self, data: bytes) -> dict[str, int]:
+        """Parse ``data`` (at least ``byte_width`` bytes) into field values."""
+        if len(data) < self.byte_width:
+            raise PacketError(
+                f"need {self.byte_width} bytes to parse header "
+                f"{self.name!r}, got {len(data)}"
+            )
+        return {
+            spec.name: get_bits(data, self._offsets[spec.name], spec.width)
+            for spec in self.fields
+        }

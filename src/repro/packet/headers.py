@@ -1,0 +1,222 @@
+"""Standard protocol header layouts.
+
+These :class:`~repro.packet.fields.HeaderSpec` instances define the wire
+formats used throughout the test programs, the NetDebug generator/checker,
+and the baseline tools. Field names follow the P4₁₆ core library
+conventions (``dst_addr``, ``ttl``, ``hdr_checksum``...).
+"""
+
+from __future__ import annotations
+
+from .fields import FieldSpec, HeaderSpec
+
+__all__ = [
+    "ETHERNET",
+    "VLAN",
+    "ARP",
+    "IPV4",
+    "IPV6",
+    "TCP",
+    "UDP",
+    "ICMP",
+    "MPLS",
+    "NETDEBUG",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_IPV6",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_VLAN",
+    "ETHERTYPE_MPLS",
+    "ETHERTYPE_NETDEBUG",
+    "IPPROTO_ICMP",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "STANDARD_HEADERS",
+    "mac",
+    "ipv4",
+    "ipv6",
+]
+
+# EtherType values (IEEE 802.3 registry).
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+ETHERTYPE_IPV6 = 0x86DD
+ETHERTYPE_MPLS = 0x8847
+#: Locally-administered EtherType carried by NetDebug test packets.
+ETHERTYPE_NETDEBUG = 0x88B5  # IEEE 802 local experimental EtherType 1.
+
+# IP protocol numbers (IANA).
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+ETHERNET = HeaderSpec.build(
+    "ethernet",
+    ("dst_addr", 48),
+    ("src_addr", 48),
+    ("ether_type", 16),
+)
+
+VLAN = HeaderSpec.build(
+    "vlan",
+    ("pcp", 3),
+    ("dei", 1),
+    ("vid", 12),
+    ("ether_type", 16),
+)
+
+ARP = HeaderSpec.build(
+    "arp",
+    ("hw_type", 16),
+    ("proto_type", 16),
+    ("hw_len", 8),
+    ("proto_len", 8),
+    ("opcode", 16),
+    ("sender_hw", 48),
+    ("sender_ip", 32),
+    ("target_hw", 48),
+    ("target_ip", 32),
+)
+
+IPV4 = HeaderSpec(
+    "ipv4",
+    (
+        FieldSpec("version", 4, default=4),
+        FieldSpec("ihl", 4, default=5),
+        FieldSpec("dscp", 6),
+        FieldSpec("ecn", 2),
+        FieldSpec("total_len", 16, default=20),
+        FieldSpec("identification", 16),
+        FieldSpec("flags", 3),
+        FieldSpec("frag_offset", 13),
+        FieldSpec("ttl", 8, default=64),
+        FieldSpec("protocol", 8),
+        FieldSpec("hdr_checksum", 16),
+        FieldSpec("src_addr", 32),
+        FieldSpec("dst_addr", 32),
+    ),
+)
+
+IPV6 = HeaderSpec(
+    "ipv6",
+    (
+        FieldSpec("version", 4, default=6),
+        FieldSpec("traffic_class", 8),
+        FieldSpec("flow_label", 20),
+        FieldSpec("payload_len", 16),
+        FieldSpec("next_hdr", 8),
+        FieldSpec("hop_limit", 8, default=64),
+        FieldSpec("src_addr", 128),
+        FieldSpec("dst_addr", 128),
+    ),
+)
+
+TCP = HeaderSpec(
+    "tcp",
+    (
+        FieldSpec("src_port", 16),
+        FieldSpec("dst_port", 16),
+        FieldSpec("seq_no", 32),
+        FieldSpec("ack_no", 32),
+        FieldSpec("data_offset", 4, default=5),
+        FieldSpec("reserved", 4),
+        FieldSpec("flags", 8),
+        FieldSpec("window", 16, default=0xFFFF),
+        FieldSpec("checksum", 16),
+        FieldSpec("urgent_ptr", 16),
+    ),
+)
+
+UDP = HeaderSpec.build(
+    "udp",
+    ("src_port", 16),
+    ("dst_port", 16),
+    ("length", 16),
+    ("checksum", 16),
+)
+
+ICMP = HeaderSpec.build(
+    "icmp",
+    ("type", 8),
+    ("code", 8),
+    ("checksum", 16),
+    ("rest", 32),
+)
+
+MPLS = HeaderSpec(
+    "mpls",
+    (
+        FieldSpec("label", 20),
+        FieldSpec("tc", 3),
+        FieldSpec("bos", 1, default=1),
+        FieldSpec("ttl", 8, default=64),
+    ),
+)
+
+#: NetDebug test-packet header, inserted after Ethernet in generated test
+#: traffic. ``magic`` identifies test packets; ``stream_id`` multiplexes
+#: concurrent test streams; ``seq_no`` detects loss and reordering;
+#: ``timestamp`` carries the injection cycle for latency measurement;
+#: ``tap_id`` records the injection point for fault localization.
+NETDEBUG = HeaderSpec(
+    "netdebug",
+    (
+        FieldSpec("magic", 16, default=0x4E44),  # ASCII "ND"
+        FieldSpec("stream_id", 16),
+        FieldSpec("seq_no", 32),
+        FieldSpec("timestamp", 48),
+        FieldSpec("tap_id", 8),
+        FieldSpec("flags", 8),
+    ),
+)
+
+#: All standard headers keyed by name, for lookup by parsers and loaders.
+STANDARD_HEADERS: dict[str, HeaderSpec] = {
+    spec.name: spec
+    for spec in (ETHERNET, VLAN, ARP, IPV4, IPV6, TCP, UDP, ICMP, MPLS, NETDEBUG)
+}
+
+
+def mac(text: str) -> int:
+    """Parse ``"aa:bb:cc:dd:ee:ff"`` into a 48-bit integer."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address: {text!r}")
+    return int("".join(parts), 16)
+
+
+def ipv4(text: str) -> int:
+    """Parse dotted-quad ``"10.0.0.1"`` into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ipv6(text: str) -> int:
+    """Parse a (possibly ``::``-compressed) IPv6 address into 128 bits."""
+    if "::" in text:
+        head, _, tail = text.partition("::")
+        head_groups = head.split(":") if head else []
+        tail_groups = tail.split(":") if tail else []
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 0:
+            raise ValueError(f"malformed IPv6 address: {text!r}")
+        groups = head_groups + ["0"] * missing + tail_groups
+    else:
+        groups = text.split(":")
+    if len(groups) != 8:
+        raise ValueError(f"malformed IPv6 address: {text!r}")
+    value = 0
+    for group in groups:
+        word = int(group or "0", 16)
+        if not 0 <= word <= 0xFFFF:
+            raise ValueError(f"malformed IPv6 address: {text!r}")
+        value = (value << 16) | word
+    return value

@@ -1,0 +1,92 @@
+"""Minimal pcap file reader/writer (libpcap classic format, no deps).
+
+Used to persist generated workloads and captured output so experiments can
+be replayed and inspected offline. Only the classic little-endian
+microsecond format (magic ``0xA1B2C3D4``) is produced; both byte orders are
+accepted on read.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import PacketError
+
+__all__ = ["PcapRecord", "write_pcap", "read_pcap"]
+
+_MAGIC_LE = 0xA1B2C3D4
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_LINKTYPE_ETHERNET = 1
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured frame: wire bytes plus a microsecond timestamp."""
+
+    data: bytes
+    timestamp_us: int = 0
+
+    @property
+    def ts_sec(self) -> int:
+        return self.timestamp_us // 1_000_000
+
+    @property
+    def ts_usec(self) -> int:
+        return self.timestamp_us % 1_000_000
+
+
+def write_pcap(path: str | Path, records: list[PcapRecord | bytes]) -> None:
+    """Write ``records`` to ``path`` as a classic pcap file."""
+    with open(path, "wb") as fh:
+        fh.write(
+            _GLOBAL_HEADER.pack(
+                _MAGIC_LE, 2, 4, 0, 0, 65535, _LINKTYPE_ETHERNET
+            )
+        )
+        for record in records:
+            if isinstance(record, bytes):
+                record = PcapRecord(record)
+            fh.write(
+                _RECORD_HEADER.pack(
+                    record.ts_sec,
+                    record.ts_usec,
+                    len(record.data),
+                    len(record.data),
+                )
+            )
+            fh.write(record.data)
+
+
+def read_pcap(path: str | Path) -> list[PcapRecord]:
+    """Read every record from a classic pcap file at ``path``."""
+    raw = Path(path).read_bytes()
+    if len(raw) < _GLOBAL_HEADER.size:
+        raise PacketError(f"{path}: truncated pcap global header")
+    magic = struct.unpack_from("<I", raw)[0]
+    if magic == _MAGIC_LE:
+        endian = "<"
+    elif magic == 0xD4C3B2A1:
+        endian = ">"
+    else:
+        raise PacketError(f"{path}: bad pcap magic {magic:#010x}")
+    record_header = struct.Struct(endian + "IIII")
+    records: list[PcapRecord] = []
+    offset = _GLOBAL_HEADER.size
+    while offset < len(raw):
+        if offset + record_header.size > len(raw):
+            raise PacketError(f"{path}: truncated pcap record header")
+        ts_sec, ts_usec, incl_len, _orig_len = record_header.unpack_from(
+            raw, offset
+        )
+        offset += record_header.size
+        if offset + incl_len > len(raw):
+            raise PacketError(f"{path}: truncated pcap record body")
+        records.append(
+            PcapRecord(raw[offset : offset + incl_len],
+                       ts_sec * 1_000_000 + ts_usec)
+        )
+        offset += incl_len
+    return records

@@ -1,0 +1,32 @@
+"""Discrete-event simulation: engine, traffic generation, network wiring."""
+
+from .events import Simulator, ns_per_cycle
+from .network import Host, Network, ReceivedFrame
+from .traffic import (
+    FlowSpec,
+    IMIX_DISTRIBUTION,
+    constant_rate_times,
+    default_flow,
+    imix_stream,
+    malformed_mix,
+    pad_to_size,
+    poisson_times,
+    udp_stream,
+)
+
+__all__ = [
+    "Simulator",
+    "ns_per_cycle",
+    "Network",
+    "Host",
+    "ReceivedFrame",
+    "FlowSpec",
+    "IMIX_DISTRIBUTION",
+    "constant_rate_times",
+    "poisson_times",
+    "udp_stream",
+    "imix_stream",
+    "malformed_mix",
+    "pad_to_size",
+    "default_flow",
+]

@@ -1,0 +1,103 @@
+"""Discrete-event simulation core.
+
+A tiny but complete event engine: events are ``(time, sequence, callback)``
+triples in a heap; the simulator pops them in time order and runs them.
+Time is in nanoseconds throughout the simulation layer, converted to/from
+device clock cycles at the device boundary.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..exceptions import SimulationError
+
+__all__ = ["Simulator", "ns_per_cycle"]
+
+
+def ns_per_cycle(clock_mhz: int) -> float:
+    """Nanoseconds per clock cycle at ``clock_mhz``."""
+    return 1e3 / clock_mhz
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class Simulator:
+    """A monotonic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[_Event] = []
+        self._sequence = 0
+        self.events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
+        """Run ``callback`` ``delay`` ns from now; returns a handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past ({delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> _Event:
+        """Run ``callback`` at absolute ``time`` ns."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now {self._now}"
+            )
+        event = _Event(time, self._sequence, callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: _Event) -> None:
+        """Cancel a pending event (lazy removal)."""
+        event.cancelled = True
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or None when idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self.events_run += 1
+            return True
+        return False
+
+    def run(
+        self, until: float | None = None, max_events: int = 10_000_000
+    ) -> None:
+        """Drain the queue, optionally stopping at time ``until`` ns."""
+        remaining = max_events
+        while remaining > 0:
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            self.step()
+            remaining -= 1
+        raise SimulationError(
+            f"simulation exceeded {max_events} events; likely a scheduling "
+            "loop"
+        )

@@ -1,0 +1,161 @@
+"""Network wiring: hosts, links and devices under a simulator.
+
+A :class:`Network` connects :class:`~repro.target.device.NetworkDevice`
+ports to :class:`Host` endpoints over fixed-latency links and drives
+everything from one :class:`~repro.sim.events.Simulator`. This provides the
+"live traffic" environment the paper's Figure 1 shows NetDebug running in
+parallel with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SimulationError
+from ..target.device import NetworkDevice
+from .events import Simulator, ns_per_cycle
+
+__all__ = ["Host", "Network", "ReceivedFrame"]
+
+
+@dataclass(frozen=True)
+class ReceivedFrame:
+    """One frame delivered to a host."""
+
+    time_ns: float
+    wire: bytes
+
+
+@dataclass
+class Host:
+    """A traffic endpoint: transmits into a device, records what arrives."""
+
+    name: str
+    received: list[ReceivedFrame] = field(default_factory=list)
+
+    def rx_count(self) -> int:
+        return len(self.received)
+
+    def rx_bytes(self) -> int:
+        return sum(len(f.wire) for f in self.received)
+
+
+class Network:
+    """Devices + hosts + links driven by a shared simulator."""
+
+    def __init__(self, sim: Simulator | None = None):
+        self.sim = sim or Simulator()
+        self.devices: dict[str, NetworkDevice] = {}
+        self.hosts: dict[str, Host] = {}
+        #: (device_name, port) -> host_name
+        self._port_to_host: dict[tuple[str, int], str] = {}
+        #: (device_name, port) -> (device_name, port) for trunk links
+        self._port_to_port: dict[tuple[str, int], tuple[str, int]] = {}
+        #: host_name -> (device_name, port)
+        self._host_uplink: dict[str, tuple[str, int]] = {}
+        self.link_delay_ns = 50.0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_device(self, device: NetworkDevice) -> NetworkDevice:
+        if device.name in self.devices:
+            raise SimulationError(f"duplicate device {device.name!r}")
+        self.devices[device.name] = device
+        return device
+
+    def add_host(self, name: str) -> Host:
+        if name in self.hosts:
+            raise SimulationError(f"duplicate host {name!r}")
+        host = Host(name)
+        self.hosts[name] = host
+        return host
+
+    def connect(self, host: str, device: str, port: int) -> None:
+        """Attach ``host`` to ``device``'s ``port`` (full duplex)."""
+        if host not in self.hosts:
+            raise SimulationError(f"unknown host {host!r}")
+        if device not in self.devices:
+            raise SimulationError(f"unknown device {device!r}")
+        if not 0 <= port < len(self.devices[device].ports):
+            raise SimulationError(f"device {device!r} has no port {port}")
+        key = (device, port)
+        if key in self._port_to_host or key in self._port_to_port:
+            raise SimulationError(
+                f"port {port} of device {device!r} is already connected"
+            )
+        self._port_to_host[key] = host
+        self._host_uplink[host] = key
+
+    def connect_devices(
+        self, device_a: str, port_a: int, device_b: str, port_b: int
+    ) -> None:
+        """Attach two device ports with a full-duplex trunk link."""
+        for device, port in ((device_a, port_a), (device_b, port_b)):
+            if device not in self.devices:
+                raise SimulationError(f"unknown device {device!r}")
+            if not 0 <= port < len(self.devices[device].ports):
+                raise SimulationError(
+                    f"device {device!r} has no port {port}"
+                )
+            key = (device, port)
+            if key in self._port_to_host or key in self._port_to_port:
+                raise SimulationError(
+                    f"port {port} of device {device!r} is already "
+                    "connected"
+                )
+        self._port_to_port[(device_a, port_a)] = (device_b, port_b)
+        self._port_to_port[(device_b, port_b)] = (device_a, port_a)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, host: str, wire: bytes, at: float | None = None) -> None:
+        """Schedule ``host`` to transmit ``wire`` at time ``at`` (ns)."""
+        try:
+            device_name, port = self._host_uplink[host]
+        except KeyError:
+            raise SimulationError(
+                f"host {host!r} is not connected to any device"
+            ) from None
+        when = self.sim.now if at is None else at
+
+        def deliver() -> None:
+            self._device_rx(device_name, port, wire)
+
+        self.sim.schedule_at(when + self.link_delay_ns, deliver)
+
+    def _device_rx(self, device_name: str, port: int, wire: bytes) -> None:
+        device = self.devices[device_name]
+        cycle_ns = ns_per_cycle(device.limits.clock_mhz)
+        timestamp_cycles = int(self.sim.now / cycle_ns)
+        outputs = device.process(wire, port, timestamp=timestamp_cycles)
+        for out_port, out_wire in outputs:
+            self._emit(device_name, out_port, out_wire)
+
+    def _emit(self, device_name: str, port: int, wire: bytes) -> None:
+        """Deliver a device output over the attached link, if any."""
+        host_name = self._port_to_host.get((device_name, port))
+        if host_name is not None:
+            def deliver_to_host() -> None:
+                self.hosts[host_name].received.append(
+                    ReceivedFrame(self.sim.now, wire)
+                )
+
+            self.sim.schedule(self.link_delay_ns, deliver_to_host)
+            return
+        peer = self._port_to_port.get((device_name, port))
+        if peer is None:
+            return  # unconnected port: frame falls on the floor
+        peer_device, peer_port = peer
+
+        def deliver_to_device() -> None:
+            self._device_rx(peer_device, peer_port, wire)
+
+        self.sim.schedule(self.link_delay_ns, deliver_to_device)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> None:
+        self.sim.run(until=until)

@@ -1,0 +1,174 @@
+"""Traffic generation for simulations.
+
+Deterministic, seeded workload generators producing the packet mixes the
+benchmark harness sweeps: fixed-size UDP streams, IMIX-style mixes, and
+adversarial mixes containing malformed packets (the reject-state workload).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..packet.builder import ethernet_frame, udp_packet
+from ..packet.headers import ipv4, mac
+from ..packet.packet import Packet
+
+__all__ = [
+    "FlowSpec",
+    "constant_rate_times",
+    "poisson_times",
+    "udp_stream",
+    "imix_stream",
+    "malformed_mix",
+    "pad_to_size",
+]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """A five-tuple template for one generated flow."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    eth_src: int = mac("02:00:00:00:00:01")
+    eth_dst: int = mac("02:00:00:00:00:02")
+
+
+def pad_to_size(packet: Packet, wire_size: int) -> Packet:
+    """Pad a packet's payload so the serialized frame is ``wire_size``.
+
+    Raises ValueError when the headers alone exceed the target size.
+    """
+    base = packet.wire_length - len(packet.payload)
+    if wire_size < base:
+        raise ValueError(
+            f"cannot fit {base} header bytes into a {wire_size}-byte frame"
+        )
+    padded = packet.copy()
+    pad = wire_size - base
+    padded.payload = (
+        packet.payload + b"\x00" * (pad - len(packet.payload))
+        if pad >= len(packet.payload)
+        else packet.payload[:pad]
+    )
+    return padded
+
+
+def constant_rate_times(rate_pps: float, count: int) -> Iterator[float]:
+    """Arrival times (ns) for ``count`` packets at a constant rate."""
+    gap = 1e9 / rate_pps
+    for index in range(count):
+        yield index * gap
+
+
+def poisson_times(
+    rate_pps: float, count: int, seed: int = 0
+) -> Iterator[float]:
+    """Poisson arrival times (ns) with mean ``rate_pps``."""
+    rng = random.Random(seed)
+    time = 0.0
+    for _ in range(count):
+        time += rng.expovariate(rate_pps) * 1e9
+        yield time
+
+
+def udp_stream(
+    flow: FlowSpec, count: int, size: int = 128, seed: int = 0
+) -> Iterator[Packet]:
+    """A stream of identical-shape UDP packets padded to ``size`` bytes."""
+    rng = random.Random(seed)
+    for index in range(count):
+        packet = udp_packet(
+            flow.dst_ip,
+            flow.src_ip,
+            flow.dst_port,
+            flow.src_port,
+            payload=index.to_bytes(4, "big") + rng.randbytes(4),
+            eth_dst=flow.eth_dst,
+            eth_src=flow.eth_src,
+        )
+        yield pad_to_size(packet, size)
+
+
+#: The classic IMIX distribution: (frame size, relative weight).
+IMIX_DISTRIBUTION = ((64, 7), (570, 4), (1518, 1))
+
+
+def imix_stream(flow: FlowSpec, count: int, seed: int = 0) -> Iterator[Packet]:
+    """An IMIX-weighted mix of small/medium/large frames."""
+    rng = random.Random(seed)
+    sizes = [size for size, weight in IMIX_DISTRIBUTION for _ in range(weight)]
+    for index in range(count):
+        size = rng.choice(sizes)
+        packet = udp_packet(
+            flow.dst_ip,
+            flow.src_ip,
+            flow.dst_port,
+            flow.src_port,
+            payload=index.to_bytes(4, "big"),
+            eth_dst=flow.eth_dst,
+            eth_src=flow.eth_src,
+        )
+        yield pad_to_size(packet, size)
+
+
+def malformed_mix(
+    flow: FlowSpec,
+    count: int,
+    malformed_fraction: float = 0.5,
+    seed: int = 0,
+) -> Iterator[tuple[Packet, bool]]:
+    """A mix of valid IPv4 and malformed packets.
+
+    Yields ``(packet, is_malformed)``. Malformed packets are the §4 case
+    study's inputs: wrong IP version, bad IHL, or an unknown EtherType —
+    all of which a strict parser must reject.
+    """
+    rng = random.Random(seed)
+    for index in range(count):
+        if rng.random() < malformed_fraction:
+            kind = rng.randrange(3)
+            if kind == 0:
+                # Wrong IP version.
+                packet = udp_packet(
+                    flow.dst_ip, flow.src_ip, flow.dst_port, flow.src_port,
+                    payload=b"bad-version",
+                    eth_dst=flow.eth_dst, eth_src=flow.eth_src,
+                )
+                packet.get("ipv4")["version"] = 6
+            elif kind == 1:
+                # Bad IHL (below the minimum of 5).
+                packet = udp_packet(
+                    flow.dst_ip, flow.src_ip, flow.dst_port, flow.src_port,
+                    payload=b"bad-ihl",
+                    eth_dst=flow.eth_dst, eth_src=flow.eth_src,
+                )
+                packet.get("ipv4")["ihl"] = rng.randrange(0, 5)
+            else:
+                # Unknown EtherType entirely.
+                packet = ethernet_frame(
+                    flow.eth_dst, flow.eth_src, 0xBEEF,
+                    payload=rng.randbytes(46),
+                )
+            yield packet, True
+        else:
+            packet = udp_packet(
+                flow.dst_ip, flow.src_ip, flow.dst_port, flow.src_port,
+                payload=index.to_bytes(4, "big"),
+                eth_dst=flow.eth_dst, eth_src=flow.eth_src,
+            )
+            yield packet, False
+
+
+def default_flow(index: int = 0) -> FlowSpec:
+    """A convenient distinct flow for tests and examples."""
+    return FlowSpec(
+        src_ip=ipv4("10.0.0.1") + index,
+        dst_ip=ipv4("10.1.0.1") + index,
+        src_port=1024 + index,
+        dst_port=5000 + index,
+    )

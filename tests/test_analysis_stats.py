@@ -1,0 +1,65 @@
+"""Tests for the measurement aggregation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import Series, percent, ratio
+
+
+class TestSeries:
+    def test_basic_stats(self):
+        series = Series("lat", [1.0, 2.0, 3.0, 4.0])
+        assert series.count == 4
+        assert series.mean == 2.5
+        assert series.minimum == 1.0
+        assert series.maximum == 4.0
+        assert series.stdev > 0
+
+    def test_empty_series(self):
+        series = Series("empty", [])
+        assert series.count == 0
+        assert series.mean == 0.0
+        assert series.stdev == 0.0
+        assert series.minimum == 0.0
+        assert series.percentile(0.99) == 0.0
+
+    def test_single_sample_stdev(self):
+        assert Series("one", [5.0]).stdev == 0.0
+
+    def test_percentiles(self):
+        series = Series("p", [float(v) for v in range(100)])
+        assert series.percentile(0.0) == 0.0
+        assert series.percentile(0.5) == 50.0
+        assert series.percentile(0.99) == 99.0
+        assert series.percentile(1.0) == 99.0  # clamped to last
+
+    def test_row_format(self):
+        row = Series("throughput", [1.5, 2.5]).row()
+        assert "throughput" in row
+        assert "n=2" in row
+        assert "mean=2" in row
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_mean_between_min_max(self, samples):
+        series = Series("prop", samples)
+        # fmean may land one ulp outside [min, max]; allow that slack.
+        slack = 1e-9 * max(1.0, series.maximum)
+        assert series.minimum - slack <= series.mean
+        assert series.mean <= series.maximum + slack
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_percentile_monotone(self, samples):
+        series = Series("prop", samples)
+        assert series.percentile(0.25) <= series.percentile(0.75)
+
+
+class TestHelpers:
+    def test_ratio(self):
+        assert ratio(6, 3) == 2.0
+        assert ratio(1, 0) == 0.0
+
+    def test_percent(self):
+        assert percent(0.125) == "12.5%"
+        assert percent(1.0) == "100.0%"

@@ -1,0 +1,137 @@
+"""External tester tests: port-level vocabulary, measurement overhead."""
+
+import pytest
+
+from repro.baselines.external_tester import (
+    EXTERNAL_OVERHEAD_NS,
+    ExternalTester,
+)
+from repro.p4.stdlib import l2_switch, strict_parser
+from repro.packet.builder import ethernet_frame, udp_packet
+from repro.packet.headers import ipv4, mac
+from repro.sim.traffic import default_flow, udp_stream
+from repro.target.reference import make_reference_device
+from repro.target.sdnet import make_sdnet_device
+
+
+def switch_tester(name="ext0"):
+    device = make_reference_device(name)
+    device.load(l2_switch())
+    device.control_plane.table_add(
+        "dmac", "forward", [mac("02:00:00:00:00:02")], [1]
+    )
+    return ExternalTester(device)
+
+
+FRAME = ethernet_frame(
+    mac("02:00:00:00:00:02"), mac("02:00:00:00:00:01"), 0x0800,
+    payload=b"data",
+).pack()
+
+
+class TestSendCapture:
+    def test_basic_capture(self):
+        tester = switch_tester()
+        captured = tester.send(FRAME, 0)
+        assert len(captured) == 1
+        assert captured[0].port == 1
+        assert captured[0].wire == FRAME
+        assert tester.captures == captured
+
+    def test_rtt_includes_overhead(self):
+        tester = switch_tester()
+        captured = tester.send(FRAME, 0)
+        assert captured[0].rtt_ns >= EXTERNAL_OVERHEAD_NS
+
+    def test_dropped_packet_yields_nothing(self):
+        device = make_reference_device("ext-drop")
+        device.load(strict_parser())
+        tester = ExternalTester(device)
+        bad = ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 30).pack()
+        assert tester.send(bad, 0) == []
+
+
+class TestVectors:
+    def test_all_pass(self):
+        tester = switch_tester()
+        report = tester.run_vectors([(FRAME, 0, FRAME, 1)])
+        assert report.passed
+        assert report.sent == 1 and report.captured == 1
+
+    def test_wrong_port_detected(self):
+        tester = switch_tester()
+        report = tester.run_vectors([(FRAME, 0, FRAME, 3)])
+        assert not report.passed
+        assert report.wrong_port == 1
+
+    def test_mismatch_detected(self):
+        tester = switch_tester()
+        report = tester.run_vectors([(FRAME, 0, b"different", 1)])
+        assert report.mismatched == 1
+
+    def test_missing_detected(self):
+        device = make_reference_device("ext-miss")
+        device.load(strict_parser())
+        tester = ExternalTester(device)
+        bad = ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 30).pack()
+        report = tester.run_vectors([(bad, 0, bad, 1)])
+        assert report.missing == 1
+
+    def test_unexpected_detected_on_sdnet_leak(self):
+        device = make_sdnet_device("ext-leak")
+        device.load(strict_parser())
+        tester = ExternalTester(device)
+        bad = ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 30).pack()
+        report = tester.run_vectors([(bad, 0, None, None)])
+        assert report.unexpected == 1
+        assert not report.passed
+
+    def test_drop_expectation_passes_on_reference(self):
+        device = make_reference_device("ext-ok")
+        device.load(strict_parser())
+        tester = ExternalTester(device)
+        bad = ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 30).pack()
+        report = tester.run_vectors([(bad, 0, None, None)])
+        assert report.passed
+
+    def test_port_wildcard(self):
+        tester = switch_tester()
+        report = tester.run_vectors([(FRAME, 0, FRAME, None)])
+        assert report.passed
+
+
+class TestMeasurement:
+    def packets(self):
+        flow = default_flow()
+        flow = type(flow)(
+            src_ip=flow.src_ip, dst_ip=flow.dst_ip,
+            src_port=flow.src_port, dst_port=flow.dst_port,
+            eth_dst=mac("02:00:00:00:00:02"),
+        )
+        return list(udp_stream(flow, 50, size=128))
+
+    def test_measure_shape(self):
+        tester = switch_tester("ext-perf")
+        measured = tester.measure(self.packets(), port=0)
+        assert measured["offered"] == 50
+        assert measured["delivered"] == 50
+        assert measured["throughput_gbps"] > 0
+        assert measured["packet_rate_mpps"] > 0
+        assert measured["rtt_min_ns"] >= EXTERNAL_OVERHEAD_NS
+        assert measured["rtt_max_ns"] >= measured["rtt_mean_ns"] >= (
+            measured["rtt_min_ns"]
+        )
+
+    def test_external_latency_exceeds_internal(self):
+        """The tester's RTT can never beat the in-device figure."""
+        device = make_reference_device("ext-cmp")
+        device.load(l2_switch())
+        device.control_plane.table_add(
+            "dmac", "forward", [mac("02:00:00:00:00:02")], [1]
+        )
+        tester = ExternalTester(device)
+        packet = self.packets()[0]
+        run = device.inject(packet.pack())
+        internal_ns = run.latency_cycles * 1e3 / device.limits.clock_mhz
+        captured = tester.send(packet.pack(), 0)
+        assert captured[0].rtt_ns > internal_ns

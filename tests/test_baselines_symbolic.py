@@ -1,0 +1,171 @@
+"""Value-set domain tests, including algebraic properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.symbolic import Infeasible, SymbolicState, ValueSet
+from repro.exceptions import VerificationError
+
+
+class TestConstruction:
+    def test_any(self):
+        vs = ValueSet.any_(8)
+        assert vs.kind == "any"
+        assert vs.may_equal(0) and vs.may_equal(255)
+
+    def test_concrete(self):
+        vs = ValueSet.concrete(8, 7)
+        assert vs.is_concrete
+        assert vs.concrete_value == 7
+
+    def test_concrete_wraps_to_width(self):
+        vs = ValueSet.concrete(8, 0x1FF)
+        assert vs.concrete_value == 0xFF
+
+    def test_empty_in_rejected(self):
+        with pytest.raises(Infeasible):
+            ValueSet(8, "in", frozenset())
+
+    def test_bad_kind(self):
+        with pytest.raises(VerificationError):
+            ValueSet(8, "maybe")
+
+    def test_concrete_value_requires_concrete(self):
+        with pytest.raises(VerificationError):
+            _ = ValueSet.any_(8).concrete_value
+
+
+class TestRefinement:
+    def test_eq_narrows(self):
+        vs = ValueSet.any_(8).refine_eq(5)
+        assert vs.is_concrete and vs.concrete_value == 5
+
+    def test_eq_conflict(self):
+        vs = ValueSet.concrete(8, 5)
+        with pytest.raises(Infeasible):
+            vs.refine_eq(6)
+
+    def test_ne_from_any(self):
+        vs = ValueSet.any_(8).refine_ne(0)
+        assert vs.kind == "notin"
+        assert not vs.may_equal(0)
+        assert vs.may_equal(1)
+
+    def test_ne_from_in(self):
+        vs = ValueSet(8, "in", frozenset({1, 2})).refine_ne(1)
+        assert vs.is_concrete and vs.concrete_value == 2
+
+    def test_ne_empties_in(self):
+        with pytest.raises(Infeasible):
+            ValueSet.concrete(8, 1).refine_ne(1)
+
+    def test_ne_accumulates(self):
+        vs = ValueSet.any_(8).refine_ne(0).refine_ne(1)
+        assert vs.values == frozenset({0, 1})
+
+    def test_ne_cannot_empty_domain(self):
+        vs = ValueSet.any_(1).refine_ne(0)
+        with pytest.raises(Infeasible):
+            vs.refine_ne(1)
+
+    def test_in_intersection(self):
+        vs = ValueSet(8, "in", frozenset({1, 2, 3})).refine_in(
+            frozenset({2, 3, 4})
+        )
+        assert vs.values == frozenset({2, 3})
+
+    def test_in_with_notin(self):
+        vs = ValueSet(8, "notin", frozenset({2})).refine_in(
+            frozenset({1, 2, 3})
+        )
+        assert vs.values == frozenset({1, 3})
+
+    def test_in_empty_conflict(self):
+        with pytest.raises(Infeasible):
+            ValueSet.concrete(8, 9).refine_in(frozenset({1}))
+
+    def test_must_equal(self):
+        assert ValueSet.concrete(8, 3).must_equal(3)
+        assert not ValueSet.any_(8).must_equal(3)
+
+
+class TestPick:
+    def test_pick_prefers_hint(self):
+        assert ValueSet.any_(8).pick(42) == 42
+
+    def test_pick_ignores_infeasible_hint(self):
+        vs = ValueSet.concrete(8, 5)
+        assert vs.pick(42) == 5
+
+    def test_pick_notin_avoids_excluded(self):
+        vs = ValueSet.any_(8).refine_ne(0).refine_ne(1)
+        assert vs.pick() == 2
+
+    def test_pick_always_member(self):
+        vs = ValueSet(8, "in", frozenset({9, 17}))
+        assert vs.pick() in {9, 17}
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=20)
+    )
+    def test_pick_in_property(self, values):
+        vs = ValueSet(8, "in", frozenset(values))
+        assert vs.pick() in values
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=255), max_size=20)
+    )
+    def test_pick_notin_property(self, excluded):
+        vs = ValueSet(8, "notin", frozenset(excluded))
+        assert vs.pick() not in excluded
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_refine_eq_then_may_equal(self, a, b):
+        vs = ValueSet.any_(8)
+        refined = vs.refine_eq(a)
+        assert refined.may_equal(b) == (a == b)
+
+
+class TestSymbolicState:
+    def test_get_creates_any(self):
+        state = SymbolicState()
+        vs = state.get("ipv4.ttl", 8)
+        assert vs.kind == "any"
+
+    def test_constrain_eq_persists(self):
+        state = SymbolicState()
+        state.constrain_eq("ipv4.ttl", 8, 7)
+        assert state.get("ipv4.ttl", 8).concrete_value == 7
+
+    def test_fork_is_independent(self):
+        state = SymbolicState()
+        state.constrain_eq("a.b", 8, 1)
+        fork = state.fork()
+        fork.constrain_ne("c.d", 8, 0)
+        assert "c.d" not in state.fields
+        assert state.get("a.b", 8).concrete_value == 1
+
+    def test_conflicting_constraints_raise(self):
+        state = SymbolicState()
+        state.constrain_eq("a.b", 8, 1)
+        with pytest.raises(Infeasible):
+            state.constrain_eq("a.b", 8, 2)
+
+    def test_witness_value(self):
+        state = SymbolicState()
+        state.constrain_ne("a.b", 8, 0)
+        assert state.witness_value("a.b", 8) != 0
+        assert state.witness_value("fresh.field", 8, preferred=64) == 64
+
+    def test_notes(self):
+        state = SymbolicState()
+        state.note("something")
+        assert state.fork().notes == ["something"]
+
+    def test_str_rendering(self):
+        assert "any" in str(ValueSet.any_(8))
+        assert "0x5" in str(ValueSet.concrete(8, 5))

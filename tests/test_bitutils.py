@@ -1,0 +1,244 @@
+"""Unit and property tests for repro.bitutils."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitutils import (
+    bytes_needed,
+    bytes_to_int,
+    check_width,
+    concat_bits,
+    get_bits,
+    hexdump,
+    int_to_bytes,
+    mask,
+    ones_complement_sum,
+    popcount,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+    set_bits,
+    sign_extend,
+    slice_bits,
+    truncate,
+)
+from repro.exceptions import PacketError
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_byte(self):
+        assert mask(8) == 0xFF
+
+    def test_single_bit(self):
+        assert mask(1) == 1
+
+    def test_wide(self):
+        assert mask(128) == (1 << 128) - 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestTruncate:
+    def test_no_op_when_fits(self):
+        assert truncate(0xAB, 8) == 0xAB
+
+    def test_wraps(self):
+        assert truncate(0x1FF, 8) == 0xFF
+
+    def test_zero_width(self):
+        assert truncate(123, 0) == 0
+
+
+class TestCheckWidth:
+    def test_accepts_fitting_value(self):
+        assert check_width(255, 8) == 255
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(PacketError):
+            check_width(256, 8)
+
+    def test_rejects_negative(self):
+        with pytest.raises(PacketError):
+            check_width(-1, 8)
+
+    def test_error_mentions_what(self):
+        with pytest.raises(PacketError, match="ttl"):
+            check_width(300, 8, "ttl")
+
+
+class TestBytesNeeded:
+    @pytest.mark.parametrize(
+        "bits,expected", [(0, 0), (1, 1), (8, 1), (9, 2), (16, 2), (48, 6)]
+    )
+    def test_rounding(self, bits, expected):
+        assert bytes_needed(bits) == expected
+
+
+class TestIntBytes:
+    def test_serialize_16_bits(self):
+        assert int_to_bytes(0x0800, 16) == b"\x08\x00"
+
+    def test_serialize_non_byte_width_pads(self):
+        # 12 bits still produce 2 bytes.
+        assert int_to_bytes(0xFFF, 12) == b"\x0f\xff"
+
+    def test_roundtrip(self):
+        assert bytes_to_int(int_to_bytes(123456, 32)) == 123456
+
+    def test_too_wide_raises(self):
+        with pytest.raises(PacketError):
+            int_to_bytes(0x10000, 16)
+
+
+class TestGetSetBits:
+    def test_get_aligned_byte(self):
+        assert get_bits(b"\xab\xcd", 0, 8) == 0xAB
+
+    def test_get_nibble(self):
+        assert get_bits(b"\x45", 0, 4) == 4
+        assert get_bits(b"\x45", 4, 4) == 5
+
+    def test_get_crossing_bytes(self):
+        assert get_bits(b"\x12\x34", 4, 8) == 0x23
+
+    def test_get_out_of_range(self):
+        with pytest.raises(PacketError):
+            get_bits(b"\x00", 0, 9)
+
+    def test_set_aligned(self):
+        buf = bytearray(2)
+        set_bits(buf, 8, 8, 0xEE)
+        assert bytes(buf) == b"\x00\xee"
+
+    def test_set_nibble_preserves_neighbors(self):
+        buf = bytearray(b"\xff")
+        set_bits(buf, 0, 4, 0)
+        assert bytes(buf) == b"\x0f"
+
+    def test_set_crossing_bytes(self):
+        buf = bytearray(2)
+        set_bits(buf, 4, 8, 0xAB)
+        assert bytes(buf) == b"\x0a\xb0"
+
+    def test_set_too_wide_value(self):
+        with pytest.raises(PacketError):
+            set_bits(bytearray(2), 0, 4, 16)
+
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0),
+    )
+    def test_roundtrip_property(self, offset, width, raw):
+        value = raw & mask(width)
+        buf = bytearray(16)
+        set_bits(buf, offset, width, value)
+        assert get_bits(bytes(buf), offset, width) == value
+
+    @given(st.binary(min_size=4, max_size=16))
+    def test_get_full_buffer_equals_int(self, data):
+        assert get_bits(data, 0, len(data) * 8) == bytes_to_int(data)
+
+
+class TestConcatSlice:
+    def test_concat(self):
+        value, width = concat_bits([(0xA, 4), (0xB, 4)])
+        assert (value, width) == (0xAB, 8)
+
+    def test_concat_empty(self):
+        assert concat_bits([]) == (0, 0)
+
+    def test_slice(self):
+        assert slice_bits(0xABCD, 16, 15, 8) == 0xAB
+        assert slice_bits(0xABCD, 16, 7, 0) == 0xCD
+
+    def test_slice_single_bit(self):
+        assert slice_bits(0b100, 3, 2, 2) == 1
+
+    def test_slice_bad_bounds(self):
+        with pytest.raises(PacketError):
+            slice_bits(0xFF, 8, 8, 0)
+        with pytest.raises(PacketError):
+            slice_bits(0xFF, 8, 3, 4)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_slice_concat_identity(self, value):
+        high = slice_bits(value, 32, 31, 16)
+        low = slice_bits(value, 32, 15, 0)
+        rebuilt, width = concat_bits([(high, 16), (low, 16)])
+        assert rebuilt == value and width == 32
+
+
+class TestRotate:
+    def test_rotate_left(self):
+        assert rotate_left(0b0001, 4, 1) == 0b0010
+
+    def test_rotate_left_wraps(self):
+        assert rotate_left(0b1000, 4, 1) == 0b0001
+
+    def test_rotate_right(self):
+        assert rotate_right(0b0001, 4, 1) == 0b1000
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=64),
+    )
+    def test_rotate_inverse(self, value, amount):
+        assert rotate_right(rotate_left(value, 8, amount), 8, amount) == value
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_full_rotation_identity(self, value):
+        assert rotate_left(value, 8, 8) == value
+
+
+class TestSignExtend:
+    def test_positive_unchanged(self):
+        assert sign_extend(0x05, 4, 8) == 0x05
+
+    def test_negative_extends(self):
+        assert sign_extend(0xF, 4, 8) == 0xFF
+
+    def test_narrowing_raises(self):
+        with pytest.raises(PacketError):
+            sign_extend(0xFF, 8, 4)
+
+
+class TestOnesComplement:
+    def test_simple_sum(self):
+        assert ones_complement_sum([0x0001, 0x0002]) == 0x0003
+
+    def test_carry_folds(self):
+        assert ones_complement_sum([0xFFFF, 0x0001]) == 0x0001
+
+    def test_empty(self):
+        assert ones_complement_sum([]) == 0
+
+
+class TestMisc:
+    def test_popcount(self):
+        assert popcount(0b1011) == 3
+        assert popcount(0) == 0
+
+    def test_reverse_bits(self):
+        assert reverse_bits(0b0001, 4) == 0b1000
+        assert reverse_bits(0b1011, 4) == 0b1101
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_reverse_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 16), 16) == value
+
+    def test_hexdump_shape(self):
+        dump = hexdump(bytes(range(32)))
+        lines = dump.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("00000000")
+        assert "|" in lines[0]
+
+    def test_hexdump_ascii_rendering(self):
+        dump = hexdump(b"AB\x00")
+        assert "AB." in dump

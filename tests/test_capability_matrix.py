@@ -1,0 +1,85 @@
+"""Figure 2 reproduction test: the full capability matrix shape."""
+
+import pytest
+
+from repro.analysis.capability import (
+    EXPECTED_SHAPE,
+    build_matrix,
+    render_matrix,
+)
+from repro.netdebug.report import Capability
+from repro.netdebug.usecases import TOOLS, USECASES
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """Build once; the full run exercises every tool on every use case."""
+    return build_matrix(seed=7)
+
+
+class TestFigure2:
+    def test_matches_paper_shape(self, matrix):
+        assert matrix.grades() == EXPECTED_SHAPE
+
+    def test_netdebug_full_everywhere(self, matrix):
+        for usecase in USECASES:
+            assert matrix.capability("netdebug", usecase) is Capability.FULL
+
+    def test_formal_only_functional_and_comparison(self, matrix):
+        capable = [
+            usecase
+            for usecase in USECASES
+            if matrix.capability("formal", usecase) is not Capability.NONE
+        ]
+        assert capable == ["functional", "comparison"]
+
+    def test_external_lacks_internal_view_columns(self, matrix):
+        assert (
+            matrix.capability("external", "resources") is Capability.NONE
+        )
+        assert (
+            matrix.capability("external", "status_monitoring")
+            is Capability.NONE
+        )
+
+    def test_external_partial_on_traffic_columns(self, matrix):
+        for usecase in (
+            "functional", "performance", "compiler_check",
+            "architecture_check", "comparison",
+        ):
+            assert (
+                matrix.capability("external", usecase)
+                is Capability.PARTIAL
+            ), usecase
+
+    def test_netdebug_dominates_everywhere(self, matrix):
+        """NetDebug's score is >= every other tool's on every use case."""
+        for usecase in USECASES:
+            nd = matrix.score("netdebug", usecase)
+            for tool in ("formal", "external"):
+                assert nd >= matrix.score(tool, usecase)
+
+    def test_all_cells_populated(self, matrix):
+        for tool in TOOLS:
+            for usecase in USECASES:
+                result = matrix.results[tool][usecase]
+                assert result.challenges, (tool, usecase)
+
+    def test_render_contains_glyphs_and_labels(self, matrix):
+        text = render_matrix(matrix)
+        assert "NetDebug" in text
+        assert "SW formal verification" in text
+        assert "External network tester" in text
+        for glyph in ("●", "◐", "○"):
+            assert glyph in text
+        for usecase in USECASES:
+            assert usecase in text
+
+    def test_render_without_scores(self, matrix):
+        text = render_matrix(matrix, show_scores=False)
+        assert "(1.00)" not in text
+
+    def test_determinism_across_seeds(self):
+        """The qualitative shape must not depend on the workload seed."""
+        for seed in (0, 42):
+            assert build_matrix(seed=seed).grades() == EXPECTED_SHAPE

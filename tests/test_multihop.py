@@ -1,0 +1,135 @@
+"""Multi-hop topologies: trunk links, chained switches, INT collection."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.p4.stdlib import l2_switch
+from repro.p4.stdlib_ext import INT_HEADER, int_telemetry
+from repro.packet.builder import ethernet_frame, udp_packet
+from repro.packet.headers import ipv4, mac
+from repro.packet.packet import Header
+from repro.sim.network import Network
+from repro.target.reference import make_reference_device
+
+DST_MAC = mac("02:00:00:00:00:02")
+
+
+def two_switch_network():
+    """h0 -(0)sw1(1)- -(0)sw2(1)- h1, forwarding by DST_MAC."""
+    network = Network()
+    for name in ("sw1", "sw2"):
+        device = make_reference_device(name)
+        device.load(l2_switch())
+        device.control_plane.table_add(
+            "dmac", "forward", [DST_MAC], [1]
+        )
+        network.add_device(device)
+    network.add_host("h0")
+    network.add_host("h1")
+    network.connect("h0", "sw1", 0)
+    network.connect_devices("sw1", 1, "sw2", 0)
+    network.connect("h1", "sw2", 1)
+    return network
+
+
+FRAME = ethernet_frame(
+    DST_MAC, mac("02:00:00:00:00:01"), 0x0800, payload=b"hop hop"
+).pack()
+
+
+class TestTrunkLinks:
+    def test_two_hop_delivery(self):
+        network = two_switch_network()
+        network.send("h0", FRAME, at=0.0)
+        network.run()
+        assert network.hosts["h1"].rx_count() == 1
+        assert network.hosts["h1"].received[0].wire == FRAME
+
+    def test_both_devices_processed(self):
+        network = two_switch_network()
+        network.send("h0", FRAME, at=0.0)
+        network.run()
+        assert network.devices["sw1"].stats.forwarded == 1
+        assert network.devices["sw2"].stats.forwarded == 1
+
+    def test_latency_accumulates_per_hop(self):
+        network = two_switch_network()
+        network.send("h0", FRAME, at=0.0)
+        network.run()
+        arrival = network.hosts["h1"].received[0].time_ns
+        assert arrival >= 3 * network.link_delay_ns  # three links
+
+    def test_trunk_port_single_occupancy(self):
+        network = two_switch_network()
+        with pytest.raises(SimulationError):
+            network.connect_devices("sw1", 1, "sw2", 2)
+        network.add_host("h2")
+        with pytest.raises(SimulationError):
+            network.connect("h2", "sw1", 1)
+
+    def test_trunk_validation(self):
+        network = Network()
+        network.add_device(make_reference_device("only"))
+        with pytest.raises(SimulationError):
+            network.connect_devices("only", 0, "ghost", 0)
+        with pytest.raises(SimulationError):
+            network.connect_devices("only", 99, "only", 0)
+
+    def test_many_packets_through_chain(self):
+        network = two_switch_network()
+        for index in range(30):
+            network.send("h0", FRAME, at=index * 200.0)
+        network.run()
+        assert network.hosts["h1"].rx_count() == 30
+
+
+class TestIntChain:
+    """Two INT switches each stamp a record; the collector reads both."""
+
+    def make_network(self):
+        network = Network()
+        for name, switch_id in (("int1", 1), ("int2", 2)):
+            device = make_reference_device(name)
+            device.load(int_telemetry(switch_id=switch_id))
+            network.add_device(device)
+        network.add_host("src")
+        network.add_host("collector")
+        network.connect("src", "int1", 0)
+        network.connect_devices("int1", 1, "int2", 0)
+        network.connect("collector", "int2", 1)
+        return network
+
+    def test_two_records_stacked_newest_first(self):
+        network = self.make_network()
+        wire = udp_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), 9, 9, payload=b""
+        ).pack()
+        network.send("src", wire, at=0.0)
+        network.run()
+        received = network.hosts["collector"].received
+        assert len(received) == 1
+        out = received[0].wire
+        # Both hops grew the packet by one record each.
+        assert len(out) == len(wire) + 2 * INT_HEADER.byte_width
+        base = 14 + 20 + 8
+        newest = Header.unpack(INT_HEADER, out[base:])
+        older = Header.unpack(
+            INT_HEADER, out[base + INT_HEADER.byte_width:]
+        )
+        assert newest["switch_id"] == 2  # last hop stamps on top
+        assert older["switch_id"] == 1
+
+    def test_timestamps_increase_along_path(self):
+        network = self.make_network()
+        wire = udp_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), 9, 9, payload=b""
+        ).pack()
+        network.send("src", wire, at=0.0)
+        network.run()
+        out = network.hosts["collector"].received[0].wire
+        base = 14 + 20 + 8
+        newest = Header.unpack(INT_HEADER, out[base:])
+        older = Header.unpack(
+            INT_HEADER, out[base + INT_HEADER.byte_width:]
+        )
+        assert newest["ingress_ts"] >= older["ingress_ts"]

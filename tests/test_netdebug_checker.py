@@ -1,0 +1,293 @@
+"""Checker tests: rules, expectations, arm/disarm, stream accounting."""
+
+import pytest
+
+from repro.exceptions import NetDebugError
+from repro.netdebug.checker import (
+    ExpectedOutput,
+    ExprCheck,
+    OutputChecker,
+    PredicateCheck,
+)
+from repro.netdebug.generator import PacketGenerator, StreamSpec
+from repro.p4.expr import fld
+from repro.p4.stdlib import ipv4_router, reflector, strict_parser
+from repro.packet.builder import ethernet_frame, udp_packet
+from repro.packet.headers import ipv4, mac
+from repro.target.reference import make_reference_device
+from repro.target.sdnet import make_sdnet_device
+
+
+def reflecting_device(name="chk0"):
+    device = make_reference_device(name)
+    device.load(reflector())
+    return device
+
+
+def parsing_device(name="chkp0"):
+    """A device whose program parses and re-emits ethernet+ipv4."""
+    device = make_reference_device(name)
+    device.load(strict_parser(forward_port=0))
+    return device
+
+
+def probe_packet(ttl=64):
+    return udp_packet(
+        ipv4("10.1.0.1"), ipv4("10.0.0.1"), 5000, 1024,
+        payload=b"pp", ttl=ttl,
+    )
+
+
+class TestExprCheck:
+    def test_passing_rule(self):
+        device = parsing_device()
+        checker = OutputChecker(device)
+        checker.add_check(
+            ExprCheck(
+                "ttl-positive",
+                fld("ipv4", "ttl").gt(0),
+                device.program.env,
+            )
+        )
+        with checker:
+            device.inject(probe_packet().pack())
+        outcomes = checker.outcomes()
+        assert outcomes[0].checked == 1
+        assert outcomes[0].ok
+
+    def test_failing_rule_produces_finding(self):
+        device = parsing_device()
+        checker = OutputChecker(device)
+        checker.add_check(
+            ExprCheck(
+                "ttl-above-100",
+                fld("ipv4", "ttl").gt(100),
+                device.program.env,
+            )
+        )
+        with checker:
+            device.inject(probe_packet(ttl=50).pack())
+        assert not checker.outcomes()[0].ok
+        assert checker.findings[0].kind == "check_failed"
+        assert "ttl-above-100" in checker.findings[0].message
+
+    def test_missing_header_fails_by_default(self):
+        device = reflecting_device()
+        checker = OutputChecker(device)
+        checker.add_check(
+            ExprCheck(
+                "needs-ipv4",
+                fld("ipv4", "ttl").gt(0),
+                device.program.env,
+            )
+        )
+        with checker:
+            device.inject(ethernet_frame(1, 2, 0xBEEF).pack())
+        assert not checker.outcomes()[0].ok
+
+    def test_skip_missing_mode(self):
+        device = reflecting_device()
+        checker = OutputChecker(device)
+        checker.add_check(
+            ExprCheck(
+                "needs-ipv4",
+                fld("ipv4", "ttl").gt(0),
+                device.program.env,
+                skip_missing=True,
+            )
+        )
+        with checker:
+            device.inject(ethernet_frame(1, 2, 0xBEEF).pack())
+        assert checker.outcomes()[0].checked == 0
+
+
+class TestPredicateCheck:
+    def test_custom_predicate(self):
+        device = reflecting_device()
+        checker = OutputChecker(device)
+        checker.add_check(
+            PredicateCheck(
+                "short-frames",
+                lambda snap: len(snap.wire or b"") < 100,
+            )
+        )
+        with checker:
+            device.inject(probe_packet().pack())
+        assert checker.outcomes()[0].ok
+
+
+class TestAttachment:
+    def test_double_attach_rejected(self):
+        checker = OutputChecker(reflecting_device())
+        checker.attach()
+        with pytest.raises(NetDebugError):
+            checker.attach()
+        checker.detach()
+
+    def test_detach_idempotent(self):
+        checker = OutputChecker(reflecting_device())
+        checker.attach()
+        checker.detach()
+        checker.detach()  # no raise
+
+    def test_internal_tap_observation(self):
+        device = make_reference_device("int0")
+        device.load(ipv4_router())
+        device.control_plane.table_add(
+            "ipv4_lpm", "route", [(ipv4("10.0.0.0"), 8)],
+            [mac("aa:bb:cc:dd:ee:01"), 1],
+        )
+        checker = OutputChecker(device, tap="parser")
+        with checker:
+            device.inject(probe_packet().pack())
+        assert checker.observed == 1
+
+
+class TestExpectations:
+    def test_fifo_match(self):
+        device = reflecting_device()
+        checker = OutputChecker(device)
+        wire = probe_packet().pack()
+        reflected = device.inject(wire).result.packet.pack()
+        checker.expect(ExpectedOutput(wire=reflected, label="r1"))
+        with checker:
+            device.inject(wire)
+        assert checker.findings == []
+
+    def test_wire_mismatch(self):
+        device = reflecting_device()
+        checker = OutputChecker(device)
+        checker.expect(ExpectedOutput(wire=b"nope", label="bad"))
+        with checker:
+            device.inject(probe_packet().pack())
+        assert checker.findings[0].kind == "output_mismatch"
+
+    def test_field_constraints(self):
+        device = parsing_device()
+        checker = OutputChecker(device)
+        checker.expect(
+            ExpectedOutput(fields={"ipv4.ttl": 64}, label="ttl-64")
+        )
+        checker.expect(
+            ExpectedOutput(fields={"ipv4.ttl": 1}, label="ttl-1")
+        )
+        with checker:
+            device.inject(probe_packet().pack())
+            device.inject(probe_packet().pack())
+        # first matches, second mismatches
+        assert len(checker.findings) == 1
+        assert "ttl-1" in checker.findings[0].message
+
+    def test_egress_port_constraint(self):
+        device = reflecting_device()
+        checker = OutputChecker(device)
+        checker.expect(ExpectedOutput(egress_port=0, label="to-0"))
+        with checker:
+            device.inject(probe_packet().pack(), port=0)
+        assert checker.findings == []
+
+    def test_missing_field_reported(self):
+        device = reflecting_device()
+        checker = OutputChecker(device)
+        checker.expect(
+            ExpectedOutput(fields={"vlan.vid": 5}, label="vlan?")
+        )
+        with checker:
+            device.inject(probe_packet().pack())
+        assert "missing field" in checker.findings[0].message
+
+    def test_unconsumed_expectation_reported_at_finalize(self):
+        device = reflecting_device()
+        checker = OutputChecker(device)
+        checker.expect(ExpectedOutput(egress_port=0, label="never"))
+        checker.finalize()
+        assert checker.findings[0].kind == "missing_output"
+
+    def test_unconsumed_forbid_is_fine(self):
+        checker = OutputChecker(reflecting_device())
+        checker.expect(ExpectedOutput(forbid=True, label="dropped"))
+        checker.finalize()
+        assert checker.findings == []
+
+
+class TestArmDisarm:
+    def test_forbid_honored_on_drop(self):
+        device = make_reference_device("arm0")
+        device.load(strict_parser())
+        checker = OutputChecker(device)
+        bad = ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 30).pack()
+        with checker:
+            checker.arm(ExpectedOutput(forbid=True, label="must-drop"))
+            device.inject(bad)
+            checker.disarm()
+        assert checker.findings == []
+
+    def test_forbid_violated_on_leak(self):
+        device = make_sdnet_device("arm1")
+        device.load(strict_parser())
+        checker = OutputChecker(device)
+        bad = ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 30).pack()
+        with checker:
+            checker.arm(ExpectedOutput(forbid=True, label="must-drop"))
+            device.inject(bad)
+            checker.disarm()
+        assert checker.findings[0].kind == "unexpected_output"
+
+    def test_missing_output_on_unexpected_drop(self):
+        device = make_reference_device("arm2")
+        device.load(ipv4_router())  # no routes: drops everything
+        checker = OutputChecker(device)
+        with checker:
+            checker.arm(ExpectedOutput(egress_port=1, label="routed"))
+            device.inject(probe_packet().pack())
+            checker.disarm()
+        assert checker.findings[0].kind == "missing_output"
+
+    def test_double_arm_rejected(self):
+        checker = OutputChecker(reflecting_device())
+        checker.arm(ExpectedOutput())
+        with pytest.raises(NetDebugError):
+            checker.arm(ExpectedOutput())
+
+    def test_disarm_without_arm_is_noop(self):
+        checker = OutputChecker(reflecting_device())
+        checker.disarm()
+        assert checker.findings == []
+
+
+class TestStreamAccounting:
+    def test_probe_sequence_tracking(self):
+        device = reflecting_device()
+        generator = PacketGenerator(device)
+        generator.configure(
+            StreamSpec(
+                stream_id=6, template=probe_packet(), count=10, wrap=True
+            )
+        )
+        checker = OutputChecker(device)
+        with checker:
+            generator.run_stream(6)
+        checker.finalize({6: 10})
+        stats = checker.streams[6]
+        assert stats.received == 10
+        assert stats.lost == 0
+        assert stats.duplicated == 0
+        assert checker.latency.count == 10
+        assert checker.latency.mean > 0
+
+    def test_loss_detected(self):
+        device = reflecting_device()
+        generator = PacketGenerator(device)
+        generator.configure(
+            StreamSpec(
+                stream_id=6, template=probe_packet(), count=4, wrap=True
+            )
+        )
+        checker = OutputChecker(device)
+        with checker:
+            generator.run_stream(6)
+        checker.finalize({6: 9})  # claim 9 sent, 4 observed
+        assert checker.streams[6].lost == 5
+        assert any(
+            f.kind == "sequence_loss" for f in checker.findings
+        )

@@ -1,0 +1,122 @@
+"""Controller (software tool) tests: sessions, monitoring, resources."""
+
+import pytest
+
+from repro.exceptions import NetDebugError
+from repro.netdebug.controller import NetDebugController
+from repro.netdebug.generator import StreamSpec
+from repro.netdebug.session import ValidationSession
+from repro.p4.stdlib import l2_switch, strict_parser
+from repro.packet.headers import ipv4, mac
+from repro.sim.events import Simulator
+from repro.sim.traffic import default_flow, udp_stream
+from repro.target.faults import Fault, FaultKind
+from repro.target.reference import make_reference_device
+
+
+def controller_on_switch(name="ctl0"):
+    device = make_reference_device(name)
+    device.load(l2_switch())
+    device.control_plane.table_add(
+        "dmac", "forward", [mac("02:00:00:00:00:02")], [1]
+    )
+    return NetDebugController(device)
+
+
+def packets(count=4, seed=0):
+    return list(udp_stream(default_flow(), count, size=96, seed=seed))
+
+
+class TestSessions:
+    def test_run_archives_report(self):
+        controller = controller_on_switch()
+        report = controller.run(
+            ValidationSession(
+                name="s1",
+                streams=[StreamSpec(stream_id=1, packets=packets())],
+            )
+        )
+        assert controller.reports == [report]
+
+    def test_all_findings_aggregates(self):
+        controller = controller_on_switch()
+        from repro.netdebug.checker import ExpectedOutput
+
+        controller.run(
+            ValidationSession(
+                name="s1",
+                streams=[StreamSpec(stream_id=1, packets=packets(1))],
+                expectations=[ExpectedOutput(egress_port=7, label="x")],
+            )
+        )
+        controller.run(
+            ValidationSession(
+                name="s2",
+                streams=[StreamSpec(stream_id=1, packets=packets(1))],
+                expectations=[ExpectedOutput(egress_port=7, label="y")],
+            )
+        )
+        assert len(controller.all_findings()) == 2
+
+
+class TestStatusMonitoring:
+    def test_poll_status(self):
+        controller = controller_on_switch()
+        sample = controller.poll_status()
+        assert sample.status["program"] == "l2_switch"
+        assert controller.status_log == [sample]
+
+    def test_monitor_schedules_polls(self):
+        controller = controller_on_switch()
+        sim = Simulator()
+        count = controller.monitor(sim, period_ns=100.0, duration_ns=1000.0)
+        assert count == 10
+        sim.run()
+        assert len(controller.status_log) == 10
+
+    def test_monitor_bad_period(self):
+        controller = controller_on_switch()
+        with pytest.raises(NetDebugError):
+            controller.monitor(Simulator(), 0, 100)
+
+    def test_monitoring_sees_traffic_evolution(self):
+        controller = controller_on_switch()
+        device = controller.device
+        sim = Simulator()
+        controller.monitor(sim, period_ns=50.0, duration_ns=400.0)
+        wires = [p.pack() for p in packets(6)]
+        for index, wire in enumerate(wires):
+            sim.schedule_at(
+                index * 60.0, lambda w=wire: device.process(w, 0)
+            )
+        sim.run()
+        processed = [
+            s.status["stats"]["processed"] for s in controller.status_log
+        ]
+        assert processed == sorted(processed)
+        assert processed[-1] == 6
+
+
+class TestResources:
+    def test_read_resources(self):
+        controller = controller_on_switch()
+        info = controller.read_resources()
+        assert info["program"] == "l2_switch"
+        assert info["luts"] > 0
+        assert 0 < info["utilization"]["luts"] < 1
+
+
+class TestLocalization:
+    def test_delegates_to_localize(self):
+        device = make_reference_device("ctl-loc")
+        device.load(strict_parser())
+        device.injector.inject(
+            Fault(FaultKind.BLACKHOLE, stage="ingress.0")
+        )
+        controller = NetDebugController(device)
+        from repro.packet.builder import udp_packet
+
+        wire = udp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9).pack()
+        result = controller.localize_fault(wire)
+        assert result.found
+        assert result.stage == "ingress.0"

@@ -1,0 +1,118 @@
+"""Regression suite record/replay tests."""
+
+import pytest
+
+from repro.exceptions import NetDebugError
+from repro.netdebug.checker import ExpectedOutput
+from repro.netdebug.regression import (
+    RegressionSuite,
+    record_suite,
+    replay_suite,
+)
+from repro.p4.stdlib import strict_parser
+from repro.packet.headers import ipv4
+from repro.sim.traffic import default_flow, malformed_mix
+from repro.target.reference import make_reference_device
+from repro.target.sdnet import make_sdnet_device
+
+
+def loaded(factory, name):
+    device = factory(name)
+    device.load(strict_parser())
+    return device
+
+
+@pytest.fixture
+def frames():
+    return [
+        packet.pack()
+        for packet, _ in malformed_mix(default_flow(), 20, 0.5, seed=6)
+    ]
+
+
+class TestRecord:
+    def test_record_produces_one_expectation_per_frame(self, frames):
+        device = loaded(make_reference_device, "rec0")
+        suite = record_suite(device, frames, name="gold")
+        assert len(suite.expectations) == len(frames)
+        assert any(e.forbid for e in suite.expectations)      # drops
+        assert any(not e.forbid for e in suite.expectations)  # forwards
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(NetDebugError):
+            RegressionSuite("bad", [b"x"], [])
+
+
+class TestReplay:
+    def test_replay_on_recording_device_passes(self, frames):
+        device = loaded(make_reference_device, "rep0")
+        suite = record_suite(device, frames)
+        report = replay_suite(device, suite)
+        assert report.passed
+        assert report.injected == len(frames)
+
+    def test_replay_on_deviant_target_fails(self, frames):
+        """The core workflow: gold suite from spec, replay on hardware."""
+        gold_device = loaded(make_reference_device, "rep-gold")
+        suite = record_suite(gold_device, frames)
+        sdnet = loaded(make_sdnet_device, "rep-sd")
+        report = replay_suite(sdnet, suite)
+        assert not report.passed
+        leaks = report.findings_of("unexpected_output")
+        malformed = sum(1 for e in suite.expectations if e.forbid)
+        assert len(leaks) == malformed
+
+    def test_replay_detects_control_plane_drift(self):
+        """Same program, different table entries: replay catches it."""
+        from repro.p4.stdlib import ipv4_router
+        from repro.packet.builder import udp_packet
+        from repro.packet.headers import mac
+
+        gold = make_reference_device("rep-cp-gold")
+        gold.load(ipv4_router())
+        gold.control_plane.table_add(
+            "ipv4_lpm", "route", [(ipv4("10.0.0.0"), 8)],
+            [mac("aa:bb:cc:dd:ee:01"), 2],
+        )
+        frames = [
+            udp_packet(ipv4("10.9.9.9"), ipv4("1.1.1.1"), 53, 9).pack()
+        ]
+        suite = record_suite(gold, frames)
+
+        drifted = make_reference_device("rep-cp-drift")
+        drifted.load(ipv4_router())
+        drifted.control_plane.table_add(
+            "ipv4_lpm", "route", [(ipv4("10.0.0.0"), 8)],
+            [mac("aa:bb:cc:dd:ee:01"), 3],  # wrong port
+        )
+        report = replay_suite(drifted, suite)
+        assert not report.passed
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, frames):
+        device = loaded(make_reference_device, "per0")
+        suite = record_suite(device, frames, name="release-1")
+        pcap_path, json_path = suite.save(tmp_path)
+        assert pcap_path.exists() and json_path.exists()
+
+        loaded_suite = RegressionSuite.load(tmp_path, "release-1")
+        assert loaded_suite.frames == suite.frames
+        assert loaded_suite.expectations == suite.expectations
+
+    def test_loaded_suite_replays_identically(self, tmp_path, frames):
+        gold = loaded(make_reference_device, "per-gold")
+        record_suite(gold, frames, name="r2").save(tmp_path)
+        suite = RegressionSuite.load(tmp_path, "r2")
+
+        sdnet = loaded(make_sdnet_device, "per-sd")
+        report = replay_suite(sdnet, suite)
+        assert not report.passed
+
+    def test_pcap_is_standard_format(self, tmp_path, frames):
+        from repro.packet.pcap import read_pcap
+
+        device = loaded(make_reference_device, "per-fmt")
+        record_suite(device, frames, name="fmt").save(tmp_path)
+        records = read_pcap(tmp_path / "fmt.pcap")
+        assert [r.data for r in records] == frames

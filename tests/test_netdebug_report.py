@@ -1,0 +1,144 @@
+"""Unit tests for the report datatypes."""
+
+import pytest
+
+from repro.netdebug.report import (
+    Capability,
+    CheckOutcome,
+    Finding,
+    LatencyStats,
+    SessionReport,
+    StreamStats,
+)
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.p50 == 0.0
+        assert stats.p99 == 0.0
+        assert stats.max == 0
+
+    def test_aggregates(self):
+        stats = LatencyStats()
+        for value in (10, 20, 30, 40):
+            stats.record(value)
+        assert stats.count == 4
+        assert stats.mean == 25.0
+        assert stats.p50 == 25.0
+        assert stats.max == 40
+
+    def test_p99_near_max(self):
+        stats = LatencyStats()
+        for value in range(100):
+            stats.record(value)
+        assert stats.p99 == 99.0
+
+    def test_microsecond_conversion(self):
+        stats = LatencyStats()
+        stats.record(200)
+        converted = stats.to_microseconds(clock_mhz=200)
+        assert converted["mean_us"] == pytest.approx(1.0)
+        assert converted["max_us"] == pytest.approx(1.0)
+
+
+class TestStreamStats:
+    def test_in_order_reception(self):
+        stats = StreamStats(1, sent=3)
+        for seq in (0, 1, 2):
+            stats.record_rx(seq)
+        stats.finalize()
+        assert stats.received == 3
+        assert stats.lost == 0
+        assert stats.reordered == 0
+        assert stats.duplicated == 0
+
+    def test_loss(self):
+        stats = StreamStats(1, sent=5)
+        stats.record_rx(0)
+        stats.record_rx(4)
+        stats.finalize()
+        assert stats.lost == 3
+
+    def test_reorder(self):
+        stats = StreamStats(1, sent=3)
+        stats.record_rx(0)
+        stats.record_rx(2)
+        stats.record_rx(1)  # late
+        stats.finalize()
+        assert stats.reordered == 1
+        assert stats.lost == 0
+
+    def test_duplicates_not_counted_as_progress(self):
+        stats = StreamStats(1, sent=2)
+        stats.record_rx(0)
+        stats.record_rx(0)
+        stats.finalize()
+        assert stats.duplicated == 1
+        assert stats.lost == 1  # seq 1 never arrived
+
+
+class TestCapability:
+    def test_enum_values(self):
+        assert Capability.FULL.value == "full"
+        assert Capability.PARTIAL.value == "partial"
+        assert Capability.NONE.value == "none"
+
+    @pytest.mark.parametrize(
+        "score,expected",
+        [
+            (1.0, Capability.FULL),
+            (0.95, Capability.FULL),
+            (0.89, Capability.PARTIAL),
+            (0.3, Capability.PARTIAL),
+            (0.2, Capability.NONE),
+            (0.0, Capability.NONE),
+        ],
+    )
+    def test_thresholds(self, score, expected):
+        assert Capability.from_score(score) is expected
+
+
+class TestSessionReport:
+    def make(self, **overrides):
+        report = SessionReport(
+            session="s", device="d", program="p", **overrides
+        )
+        return report
+
+    def test_passed_requires_clean_slate(self):
+        assert self.make().passed
+        failing_check = CheckOutcome("r", checked=1, failed=1)
+        assert not self.make(checks=[failing_check]).passed
+        finding = Finding("unexpected_output", "boom")
+        assert not self.make(findings=[finding]).passed
+
+    def test_findings_of_filters(self):
+        report = self.make(
+            findings=[
+                Finding("a", "1"),
+                Finding("b", "2"),
+                Finding("a", "3"),
+            ]
+        )
+        assert len(report.findings_of("a")) == 2
+        assert report.findings_of("zzz") == []
+
+    def test_summary_includes_measurements(self):
+        report = self.make(measurements={"throughput_gbps": 12.5})
+        assert "throughput_gbps" in report.summary()
+
+    def test_summary_includes_failures(self):
+        outcome = CheckOutcome(
+            "ttl", checked=2, failed=1, first_failure="ttl was 0"
+        )
+        report = self.make(checks=[outcome])
+        text = report.summary()
+        assert "FAILED" in text
+        assert "ttl was 0" in text
+
+    def test_check_outcome_ok(self):
+        assert CheckOutcome("x", checked=5, passed=5).ok
+        assert not CheckOutcome("x", checked=5, failed=1).ok

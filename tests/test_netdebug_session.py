@@ -1,0 +1,207 @@
+"""Session orchestration tests: oracles, expectations, reports."""
+
+import pytest
+
+from repro.exceptions import NetDebugError
+from repro.netdebug.checker import ExpectedOutput, ExprCheck
+from repro.netdebug.generator import StreamSpec
+from repro.netdebug.session import (
+    ValidationSession,
+    reference_expectation,
+    run_session,
+)
+from repro.p4.expr import fld
+from repro.p4.stdlib import ipv4_router, strict_parser
+from repro.packet.builder import ethernet_frame, parse_ethernet, udp_packet
+from repro.packet.headers import ipv4, mac
+from repro.sim.traffic import default_flow, malformed_mix, udp_stream
+from repro.target.reference import make_reference_device
+from repro.target.sdnet import make_sdnet_device
+
+
+def routed_device(factory=make_reference_device, name="ses0"):
+    device = factory(name)
+    device.load(ipv4_router())
+    device.control_plane.table_add(
+        "ipv4_lpm", "route", [(ipv4("10.0.0.0"), 8)],
+        [mac("aa:bb:cc:dd:ee:01"), 2],
+    )
+    return device
+
+
+def routed_packets(count=5, seed=0):
+    flow = default_flow()
+    flow = type(flow)(
+        src_ip=flow.src_ip, dst_ip=ipv4("10.4.0.1"),
+        src_port=flow.src_port, dst_port=flow.dst_port,
+    )
+    return list(udp_stream(flow, count, size=96, seed=seed))
+
+
+class TestReferenceExpectation:
+    def test_forward_prediction(self):
+        device = routed_device()
+        wire = routed_packets(1)[0].pack()
+        expectation = reference_expectation(device.program, wire)
+        assert not expectation.forbid
+        assert expectation.egress_port == 2
+        predicted = parse_ethernet(expectation.wire)
+        assert predicted.get("ipv4")["ttl"] == 63  # decremented
+
+    def test_drop_prediction(self):
+        device = routed_device()
+        # No route for 172.x -> default drop.
+        wire = udp_packet(
+            ipv4("172.16.0.1"), ipv4("10.0.0.1"), 1, 2
+        ).pack()
+        expectation = reference_expectation(device.program, wire)
+        assert expectation.forbid
+
+    def test_reject_prediction(self):
+        program = strict_parser()
+        wire = ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 30).pack()
+        expectation = reference_expectation(program, wire)
+        assert expectation.forbid
+        assert "parser_rejected" in expectation.label
+
+
+class TestRunSession:
+    def test_empty_session_rejected(self):
+        device = routed_device()
+        with pytest.raises(NetDebugError):
+            run_session(device, ValidationSession(name="empty"))
+
+    def test_oracle_session_passes_on_faithful_device(self):
+        device = routed_device()
+        session = ValidationSession(
+            name="ok",
+            streams=[StreamSpec(stream_id=1, packets=routed_packets(8))],
+            use_reference_oracle=True,
+        )
+        report = run_session(device, session)
+        assert report.passed
+        assert report.injected == 8
+        assert report.observed == 8
+        assert report.program == "ipv4_router"
+
+    def test_oracle_session_fails_on_deviant_device(self):
+        device = make_sdnet_device("ses-sd")
+        device.load(strict_parser())
+        packets = [
+            p for p, _ in malformed_mix(default_flow(), 20, 0.5, seed=5)
+        ]
+        session = ValidationSession(
+            name="deviant",
+            streams=[
+                StreamSpec(stream_id=1, packets=packets,
+                           fix_checksums=False)
+            ],
+            use_reference_oracle=True,
+        )
+        report = run_session(device, session)
+        assert not report.passed
+        assert report.findings_of("unexpected_output")
+
+    def test_explicit_expectations(self):
+        device = routed_device()
+        packets = routed_packets(2)
+        session = ValidationSession(
+            name="explicit",
+            streams=[StreamSpec(stream_id=1, packets=packets)],
+            expectations=[
+                ExpectedOutput(egress_port=2, label="a"),
+                ExpectedOutput(egress_port=3, label="b"),  # wrong
+            ],
+        )
+        report = run_session(device, session)
+        assert len(report.findings) == 1
+        assert "b" in report.findings[0].message
+
+    def test_too_few_expectations_rejected(self):
+        device = routed_device()
+        session = ValidationSession(
+            name="short",
+            streams=[StreamSpec(stream_id=1, packets=routed_packets(3))],
+            expectations=[ExpectedOutput(egress_port=2)],
+        )
+        with pytest.raises(NetDebugError):
+            run_session(device, session)
+
+    def test_custom_oracle_callable(self):
+        device = routed_device()
+        calls = []
+
+        def oracle(wire, port):
+            calls.append(wire)
+            return ExpectedOutput(egress_port=2)
+
+        session = ValidationSession(
+            name="custom",
+            streams=[StreamSpec(stream_id=1, packets=routed_packets(3))],
+            oracle=oracle,
+        )
+        report = run_session(device, session)
+        assert len(calls) == 3
+        assert report.passed
+
+    def test_checks_applied(self):
+        device = routed_device()
+        session = ValidationSession(
+            name="with-checks",
+            streams=[StreamSpec(stream_id=1, packets=routed_packets(4))],
+            checks=[
+                ExprCheck(
+                    "ttl-decremented",
+                    fld("ipv4", "ttl").eq(63),
+                    device.program.env,
+                )
+            ],
+        )
+        report = run_session(device, session)
+        assert report.checks[0].checked == 4
+        assert report.checks[0].ok
+
+    def test_wrapped_streams_count_loss(self):
+        from repro.p4.stdlib import reflector
+
+        device = make_reference_device("ses-wrap")
+        device.load(reflector())
+        session = ValidationSession(
+            name="wrapped",
+            streams=[
+                StreamSpec(
+                    stream_id=4,
+                    packets=routed_packets(6),
+                    wrap=True,
+                )
+            ],
+        )
+        report = run_session(device, session)
+        assert report.streams[4].received == 6
+        assert report.streams[4].lost == 0
+        assert report.latency.count == 6
+
+    def test_multiple_streams(self):
+        device = routed_device()
+        session = ValidationSession(
+            name="multi",
+            streams=[
+                StreamSpec(stream_id=1, packets=routed_packets(2)),
+                StreamSpec(stream_id=2, packets=routed_packets(3, seed=1)),
+            ],
+            use_reference_oracle=True,
+        )
+        report = run_session(device, session)
+        assert report.injected == 5
+
+    def test_summary_renders(self):
+        device = routed_device()
+        session = ValidationSession(
+            name="summary",
+            streams=[StreamSpec(stream_id=1, packets=routed_packets(2))],
+            use_reference_oracle=True,
+        )
+        report = run_session(device, session)
+        text = report.summary()
+        assert "summary" in text
+        assert "PASS" in text

@@ -1,0 +1,80 @@
+"""Probe format tests: encode/decode round-trips, magic detection."""
+
+from hypothesis import given, strategies as st
+
+from repro.netdebug.testpacket import (
+    PROBE_MAGIC,
+    decode_probe,
+    is_probe,
+    make_probe,
+)
+from repro.packet.builder import ethernet_frame, udp_packet
+from repro.packet.headers import ipv4
+
+
+class TestEncode:
+    def test_payload_probe(self):
+        probe = make_probe(3, 14, timestamp=999, tap_id=2, inner=b"body")
+        info = decode_probe(probe.pack())
+        assert info is not None
+        assert info.stream_id == 3
+        assert info.seq_no == 14
+        assert info.timestamp == 999
+        assert info.tap_id == 2
+        assert info.inner == b"body"
+
+    def test_wrapped_inner_packet(self):
+        inner = udp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9)
+        probe = make_probe(1, 2, inner=inner)
+        info = decode_probe(probe.pack())
+        assert info.inner == inner.pack()
+        assert info.has_inner
+
+    def test_empty_inner(self):
+        probe = make_probe(1, 2)
+        info = decode_probe(probe.pack())
+        assert info.inner == b""
+        assert not info.has_inner
+
+
+class TestDetection:
+    def test_non_probe_frames(self):
+        frame = ethernet_frame(1, 2, 0x0800, payload=b"x" * 40)
+        assert not is_probe(frame.pack())
+        assert decode_probe(frame.pack()) is None
+
+    def test_short_frames(self):
+        assert not is_probe(b"")
+        assert not is_probe(b"\x00" * 20)
+
+    def test_right_ethertype_wrong_magic(self):
+        probe = make_probe(1, 2)
+        probe.get("netdebug")["magic"] = 0x1234
+        assert not is_probe(probe.pack())
+
+    def test_magic_constant(self):
+        probe = make_probe(1, 2)
+        assert probe.get("netdebug")["magic"] == PROBE_MAGIC
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=(1 << 48) - 1),
+        st.integers(min_value=0, max_value=255),
+        st.binary(max_size=128),
+    )
+    def test_roundtrip(self, stream_id, seq_no, timestamp, tap_id, body):
+        probe = make_probe(
+            stream_id, seq_no, timestamp=timestamp, tap_id=tap_id,
+            inner=body,
+        )
+        wire = probe.pack()
+        assert is_probe(wire)
+        info = decode_probe(wire)
+        assert info.stream_id == stream_id
+        assert info.seq_no == seq_no
+        assert info.timestamp == timestamp
+        assert info.tap_id == tap_id
+        assert info.inner == body

@@ -1,0 +1,96 @@
+"""Tests for actions, parameters and primitive statements."""
+
+import pytest
+
+from repro.exceptions import P4RuntimeError, P4TypeError
+from repro.p4.actions import (
+    NOACTION,
+    Action,
+    AddHeader,
+    Drop,
+    Forward,
+    NoOp,
+    Param,
+    SetField,
+)
+from repro.p4.expr import Const, EvalContext
+from repro.p4.types import TypeEnv
+from repro.packet.packet import Packet
+
+
+class TestParam:
+    def test_width(self):
+        assert Param("port", 9).width(TypeEnv()) == 9
+
+    def test_direct_eval_raises(self):
+        ctx = EvalContext(Packet(), {})
+        with pytest.raises(P4RuntimeError):
+            Param("port", 9).eval(ctx, TypeEnv())
+
+
+class TestActionBinding:
+    def test_bind_positional(self):
+        action = Action("a", [Param("x", 8), Param("y", 16)], [])
+        assert action.bind((1, 300)) == {"x": 1, "y": 300}
+
+    def test_bind_wrong_arity(self):
+        action = Action("a", [Param("x", 8)], [])
+        with pytest.raises(P4TypeError):
+            action.bind(())
+        with pytest.raises(P4TypeError):
+            action.bind((1, 2))
+
+    def test_bind_value_too_wide(self):
+        action = Action("a", [Param("x", 8)], [])
+        with pytest.raises(P4TypeError):
+            action.bind((256,))
+
+    def test_bind_negative(self):
+        action = Action("a", [Param("x", 8)], [])
+        with pytest.raises(P4TypeError):
+            action.bind((-1,))
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(P4TypeError):
+            Action("a", [Param("x", 8), Param("x", 9)], [])
+
+    def test_param_names(self):
+        action = Action("a", [Param("x", 8), Param("y", 8)], [])
+        assert action.param_names == ["x", "y"]
+
+
+class TestCosts:
+    def test_noop_free(self):
+        assert NoOp().cost == 0
+
+    def test_alu_cost_sums_body(self):
+        action = Action(
+            "a",
+            [],
+            [
+                SetField("ipv4", "ttl", Const(1, 8)),  # cost 1
+                AddHeader("vlan"),                      # cost 2
+                Drop(),                                 # cost 1
+            ],
+        )
+        assert action.alu_cost == 4
+
+    def test_noaction_is_free(self):
+        assert NOACTION.alu_cost == 0
+        assert NOACTION.name == "NoAction"
+        assert NOACTION.params == []
+
+
+class TestPrimitiveShapes:
+    def test_forward_holds_expression(self):
+        primitive = Forward(Const(3, 9))
+        assert primitive.port.value == 3
+
+    def test_add_header_after(self):
+        primitive = AddHeader("vlan", after="ethernet")
+        assert primitive.after == "ethernet"
+
+    def test_primitives_are_frozen(self):
+        primitive = Drop()
+        with pytest.raises(Exception):
+            primitive.anything = 1

@@ -1,0 +1,88 @@
+"""Tests for the control-flow IR and its structural queries."""
+
+import pytest
+
+from repro.exceptions import P4ValidationError
+from repro.p4.actions import NOACTION, Action
+from repro.p4.control import ApplyTable, Call, Control, If, IfHit, Seq
+from repro.p4.expr import Const
+from repro.p4.table import Table
+
+
+class TestSeq:
+    def test_of_drops_nones(self):
+        seq = Seq.of(ApplyTable("a"), None, ApplyTable("b"))
+        assert len(seq.body) == 2
+
+    def test_empty(self):
+        assert Seq.of().body == ()
+
+
+class TestControlDeclarations:
+    def test_duplicate_table_rejected(self):
+        control = Control("ingress")
+        control.declare_table(Table("t"))
+        with pytest.raises(P4ValidationError):
+            control.declare_table(Table("t"))
+
+    def test_duplicate_action_same_object_ok(self):
+        control = Control("ingress")
+        action = Action("a", [], [])
+        control.declare_action(action)
+        control.declare_action(action)  # idempotent
+
+    def test_duplicate_action_different_object_rejected(self):
+        control = Control("ingress")
+        control.declare_action(Action("a", [], []))
+        with pytest.raises(P4ValidationError):
+            control.declare_action(Action("a", [], []))
+
+    def test_unknown_lookups(self):
+        control = Control("ingress")
+        with pytest.raises(P4ValidationError):
+            control.table("missing")
+        with pytest.raises(P4ValidationError):
+            control.action("missing")
+
+
+class TestStructuralQueries:
+    def build_control(self):
+        control = Control("ingress")
+        for name in ("t1", "t2", "t3"):
+            table = Table(name)
+            table.declare_action(NOACTION)
+            control.declare_table(table)
+        control.declare_action(Action("a", [], []))
+        control.body = Seq(
+            (
+                ApplyTable("t1"),
+                If(
+                    Const(1),
+                    IfHit("t2", then=ApplyTable("t3")),
+                    Call("a"),
+                ),
+            )
+        )
+        return control
+
+    def test_applied_tables_in_order(self):
+        control = self.build_control()
+        assert control.applied_tables() == ["t1", "t2", "t3"]
+
+    def test_max_depth(self):
+        control = self.build_control()
+        # t1 (1) + if-branch: t2 then t3 (2) => 3 dependent applies.
+        assert control.max_depth() == 3
+
+    def test_empty_control_depth_zero(self):
+        assert Control("egress").max_depth() == 0
+        assert Control("egress").applied_tables() == []
+
+    def test_if_without_else(self):
+        control = Control("c")
+        table = Table("t")
+        table.declare_action(NOACTION)
+        control.declare_table(table)
+        control.body = If(Const(1), ApplyTable("t"))
+        assert control.applied_tables() == ["t"]
+        assert control.max_depth() == 1

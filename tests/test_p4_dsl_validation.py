@@ -1,0 +1,208 @@
+"""Tests for the program builder DSL and static validation."""
+
+import pytest
+
+from repro.exceptions import P4ValidationError
+from repro.p4.actions import Drop, Forward, Param, SetField, SetMeta
+from repro.p4.control import ApplyTable
+from repro.p4.dsl import ProgramBuilder
+from repro.p4.expr import Const, fld, meta
+from repro.p4.parser import ACCEPT
+from repro.p4.validation import collect_expr_refs, validate_program
+from repro.packet.headers import ETHERNET, IPV4
+
+
+def base_builder(name="prog"):
+    b = ProgramBuilder(name)
+    b.header(ETHERNET)
+    b.parser_state("start", extracts=["ethernet"]).accept()
+    b.emit("ethernet")
+    return b
+
+
+class TestBuilderMechanics:
+    def test_minimal_program_builds(self):
+        program = base_builder().build()
+        assert program.name == "prog"
+        assert program.parser.start == "start"
+
+    def test_metadata_declaration(self):
+        b = base_builder()
+        b.metadata("custom", 12)
+        program = b.build()
+        assert program.env.metadata["custom"] == 12
+
+    def test_counter_register_declaration(self):
+        b = base_builder()
+        b.counter("c", 8)
+        b.register("r", 4, 32)
+        program = b.build()
+        assert program.counters["c"].size == 8
+        assert program.registers["r"].width == 32
+
+    def test_duplicate_counter_rejected(self):
+        b = base_builder()
+        b.counter("c", 8)
+        with pytest.raises(P4ValidationError):
+            b.counter("c", 8)
+
+    def test_duplicate_emit_rejected(self):
+        b = base_builder()
+        with pytest.raises(P4ValidationError):
+            b.emit("ethernet")
+
+    def test_double_verify_rejected(self):
+        b = ProgramBuilder("v")
+        b.header(IPV4)
+        state = b.parser_state("start", extracts=["ipv4"])
+        state.verify(fld("ipv4", "version").eq(4))
+        with pytest.raises(P4ValidationError):
+            state.verify(fld("ipv4", "ihl").ge(5))
+
+    def test_table_builder_chain(self):
+        b = base_builder()
+        table = (
+            b.ingress.table("t")
+            .key(fld("ethernet", "dst_addr"), "exact", "dst")
+            .action("fwd", [("port", 9)], [Forward(Param("port", 9))])
+            .default("NoAction")
+            .size(32)
+        )
+        b.ingress.apply("t")
+        program = b.build()
+        assert program.table("t").size == 32
+        assert "fwd" in program.table("t").actions
+        assert table.table.keys[0].name == "dst"
+
+
+class TestValidationFailures:
+    def test_undefined_parser_state(self):
+        b = ProgramBuilder("bad")
+        b.header(ETHERNET)
+        b.parser_state("start", extracts=["ethernet"]).goto("missing")
+        b.emit("ethernet")
+        with pytest.raises(P4ValidationError, match="missing"):
+            b.build()
+
+    def test_undeclared_header_in_extract(self):
+        b = ProgramBuilder("bad")
+        b.header(ETHERNET)
+        b.parser_state("start", extracts=["ipv4"]).accept()
+        with pytest.raises(P4ValidationError, match="ipv4"):
+            b.build()
+
+    def test_undeclared_field_in_expr(self):
+        b = base_builder()
+        b.ingress.when(fld("ethernet", "bogus").eq(1), ApplyTable("t"))
+        b.ingress.table("t")
+        with pytest.raises(P4ValidationError, match="bogus"):
+            b.build()
+
+    def test_unknown_table_applied(self):
+        b = base_builder()
+        b.ingress.apply("ghost")
+        with pytest.raises(P4ValidationError, match="ghost"):
+            b.build()
+
+    def test_unknown_action_called(self):
+        b = base_builder()
+        b.ingress.call("ghost")
+        with pytest.raises(P4ValidationError, match="ghost"):
+            b.build()
+
+    def test_call_arity_mismatch(self):
+        b = base_builder()
+        b.ingress.action("takes_one", [("x", 8)], [])
+        b.ingress.call("takes_one", (1, 2))
+        with pytest.raises(P4ValidationError):
+            b.build()
+
+    def test_default_action_undeclared(self):
+        b = base_builder()
+        b.ingress.table("t").default("ghost")
+        b.ingress.apply("t")
+        with pytest.raises(P4ValidationError, match="ghost"):
+            b.build()
+
+    def test_undeclared_metadata_write(self):
+        b = base_builder()
+        b.ingress.action("m", [], [SetMeta("ghost_meta", Const(1, 8))])
+        b.ingress.call("m")
+        with pytest.raises(P4ValidationError, match="ghost_meta"):
+            b.build()
+
+    def test_undeclared_counter(self):
+        from repro.p4.actions import CountPacket
+
+        b = base_builder()
+        b.ingress.action("c", [], [CountPacket("ghost", Const(0, 8))])
+        b.ingress.call("c")
+        with pytest.raises(P4ValidationError, match="ghost"):
+            b.build()
+
+    def test_undeclared_register(self):
+        from repro.p4.actions import RegisterWrite
+
+        b = base_builder()
+        b.ingress.action(
+            "r", [], [RegisterWrite("ghost", Const(0, 8), Const(0, 8))]
+        )
+        b.ingress.call("r")
+        with pytest.raises(P4ValidationError, match="ghost"):
+            b.build()
+
+    def test_unknown_param_in_action_body(self):
+        b = base_builder()
+        b.ingress.action(
+            "a", [("x", 8)],
+            [SetField("ethernet", "ether_type", Param("y", 16))],
+        )
+        b.ingress.call("a", (5,))
+        with pytest.raises(P4ValidationError, match="y"):
+            b.build()
+
+    def test_deparser_undeclared_header(self):
+        b = ProgramBuilder("bad")
+        b.header(ETHERNET)
+        b.parser_state("start", extracts=["ethernet"]).accept()
+        b.emit("ethernet", )
+        b._program.deparser.emit_order.append("ghost")
+        with pytest.raises(P4ValidationError, match="ghost"):
+            b.build()
+
+    def test_all_errors_reported_together(self):
+        b = ProgramBuilder("multi")
+        b.header(ETHERNET)
+        b.parser_state("start", extracts=["ipv4"]).goto("nowhere")
+        b.ingress.apply("ghost_table")
+        try:
+            b.build()
+            raise AssertionError("expected validation failure")
+        except P4ValidationError as exc:
+            message = str(exc)
+            assert "ipv4" in message
+            assert "nowhere" in message
+            assert "ghost_table" in message
+
+    def test_validate_can_be_skipped(self):
+        b = ProgramBuilder("skip")
+        b.header(ETHERNET)
+        b.parser_state("start", extracts=["ethernet"]).goto("missing")
+        b.emit("ethernet")
+        program = b.build(validate=False)  # no raise
+        with pytest.raises(P4ValidationError):
+            validate_program(program)
+
+
+class TestCollectRefs:
+    def test_fields_and_meta(self):
+        expr = fld("ipv4", "ttl").eq(1).land(meta("x").gt(0))
+        fields, metas = collect_expr_refs(expr)
+        assert ("ipv4", "ttl") in fields
+        assert "x" in metas
+
+    def test_is_valid_collected(self):
+        from repro.p4.expr import IsValid
+
+        fields, _ = collect_expr_refs(IsValid("tcp"))
+        assert ("tcp", "") in fields

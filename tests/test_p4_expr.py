@@ -1,0 +1,248 @@
+"""Tests for the P4 expression AST: widths, evaluation, operator sugar."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import P4RuntimeError, P4TypeError
+from repro.p4.expr import (
+    BinOp,
+    Concat,
+    Const,
+    EvalContext,
+    FieldRef,
+    IsValid,
+    MetaRef,
+    Mux,
+    Slice,
+    UnOp,
+    const,
+    fld,
+    meta,
+)
+from repro.p4.types import TypeEnv
+from repro.packet.headers import ETHERNET, IPV4
+from repro.packet.packet import Header, Packet
+
+
+@pytest.fixture
+def env():
+    type_env = TypeEnv()
+    type_env.declare_header(ETHERNET)
+    type_env.declare_header(IPV4)
+    type_env.declare_metadata("scratch", 16)
+    return type_env
+
+
+@pytest.fixture
+def ctx():
+    packet = Packet(
+        headers=[
+            Header(ETHERNET, {"dst_addr": 0xA, "src_addr": 0xB,
+                              "ether_type": 0x0800}),
+            Header(IPV4, {"ttl": 64, "dst_addr": 0x0A000001}),
+        ]
+    )
+    metadata = {"scratch": 7, "ingress_port": 2}
+    return EvalContext(packet, metadata)
+
+
+class TestConst:
+    def test_width_hint(self, env):
+        assert Const(5, 16).width(env) == 16
+
+    def test_inferred_width(self, env):
+        assert Const(255).width(env) == 8
+        assert Const(0).width(env) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(P4TypeError):
+            Const(-1)
+
+    def test_too_wide_for_hint(self):
+        with pytest.raises(Exception):
+            Const(256, 8)
+
+    def test_eval(self, env, ctx):
+        assert Const(42).eval(ctx, env) == 42
+
+
+class TestRefs:
+    def test_field_ref(self, env, ctx):
+        assert fld("ipv4", "ttl").eval(ctx, env) == 64
+        assert fld("ipv4", "ttl").width(env) == 8
+
+    def test_field_ref_path(self):
+        assert fld("ipv4", "ttl").path == "ipv4.ttl"
+
+    def test_missing_header_raises(self, env, ctx):
+        with pytest.raises(P4RuntimeError):
+            fld("tcp", "src_port").eval(ctx, env)
+
+    def test_invalid_header_raises(self, env, ctx):
+        ctx.packet.get("ipv4").valid = False
+        with pytest.raises(P4RuntimeError):
+            fld("ipv4", "ttl").eval(ctx, env)
+
+    def test_unknown_header_width(self, env):
+        with pytest.raises(P4TypeError):
+            fld("nope", "x").width(env)
+
+    def test_meta_ref(self, env, ctx):
+        assert meta("scratch").eval(ctx, env) == 7
+        assert meta("scratch").width(env) == 16
+
+    def test_unset_meta_raises(self, env, ctx):
+        with pytest.raises(P4RuntimeError):
+            meta("unset_thing").eval(ctx, env)
+
+    def test_is_valid(self, env, ctx):
+        assert IsValid("ipv4").eval(ctx, env) == 1
+        assert IsValid("tcp").eval(ctx, env) == 0
+        ctx.packet.get("ipv4").valid = False
+        assert IsValid("ipv4").eval(ctx, env) == 0
+        assert IsValid("ipv4").width(env) == 1
+
+
+class TestBinOps:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("+", 200, 100, 44),       # 8-bit wrap: 300 & 0xFF
+            ("-", 0, 1, 255),          # 8-bit underflow wrap
+            ("*", 16, 16, 0),          # 256 & 0xFF
+            ("&", 0xF0, 0x3C, 0x30),
+            ("|", 0xF0, 0x0F, 0xFF),
+            ("^", 0xFF, 0x0F, 0xF0),
+            ("<<", 1, 7, 128),
+            ("<<", 1, 8, 0),           # shifted out at 8 bits
+            (">>", 128, 7, 1),
+            ("==", 5, 5, 1),
+            ("==", 5, 6, 0),
+            ("!=", 5, 6, 1),
+            ("<", 5, 6, 1),
+            ("<=", 6, 6, 1),
+            (">", 7, 6, 1),
+            (">=", 6, 7, 0),
+            ("and", 1, 0, 0),
+            ("and", 2, 3, 1),
+            ("or", 0, 0, 0),
+            ("or", 0, 9, 1),
+        ],
+    )
+    def test_semantics_8bit(self, env, ctx, op, left, right, expected):
+        expr = BinOp(op, Const(left, 8), Const(right, 8))
+        assert expr.eval(ctx, env) == expected
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(P4TypeError):
+            BinOp("%", Const(1), Const(2))
+
+    def test_compare_width_is_one(self, env):
+        assert Const(5, 8).eq(Const(5, 8)).width(env) == 1
+
+    def test_arith_width_is_max(self, env):
+        expr = BinOp("+", Const(1, 8), Const(1, 16))
+        assert expr.width(env) == 16
+
+    def test_shift_keeps_left_width(self, env):
+        expr = BinOp("<<", Const(1, 8), Const(12, 16))
+        assert expr.width(env) == 8
+
+    def test_operator_sugar(self, env, ctx):
+        expr = (fld("ipv4", "ttl") - 1) & 0xFF
+        assert expr.eval(ctx, env) == 63
+
+    def test_sugar_comparisons(self, env, ctx):
+        assert fld("ipv4", "ttl").ge(64).eval(ctx, env) == 1
+        assert fld("ipv4", "ttl").gt(64).eval(ctx, env) == 0
+        assert fld("ipv4", "ttl").le(64).eval(ctx, env) == 1
+        assert fld("ipv4", "ttl").lt(64).eval(ctx, env) == 0
+        assert fld("ipv4", "ttl").ne(63).eval(ctx, env) == 1
+
+    def test_logical_sugar(self, env, ctx):
+        expr = fld("ipv4", "ttl").eq(64).land(meta("scratch").eq(7))
+        assert expr.eval(ctx, env) == 1
+        expr2 = fld("ipv4", "ttl").eq(0).lor(meta("scratch").eq(7))
+        assert expr2.eval(ctx, env) == 1
+
+
+class TestUnOps:
+    def test_bitwise_not(self, env, ctx):
+        assert UnOp("~", Const(0x0F, 8)).eval(ctx, env) == 0xF0
+
+    def test_logical_not(self, env, ctx):
+        assert UnOp("!", Const(0)).eval(ctx, env) == 1
+        assert UnOp("!", Const(7)).eval(ctx, env) == 0
+        assert Const(7).lnot().eval(ctx, env) == 0
+
+    def test_negate_wraps(self, env, ctx):
+        assert UnOp("-", Const(1, 8)).eval(ctx, env) == 255
+
+    def test_unknown_rejected(self):
+        with pytest.raises(P4TypeError):
+            UnOp("abs", Const(1))
+
+    def test_not_width_one(self, env):
+        assert UnOp("!", Const(7, 8)).width(env) == 1
+
+
+class TestSliceConcatMux:
+    def test_slice(self, env, ctx):
+        expr = Slice(Const(0xABCD, 16), 15, 8)
+        assert expr.eval(ctx, env) == 0xAB
+        assert expr.width(env) == 8
+
+    def test_slice_bad_bounds(self):
+        with pytest.raises(P4TypeError):
+            Slice(Const(1), 0, 1)
+
+    def test_concat(self, env, ctx):
+        expr = Concat(Const(0xA, 4), Const(0xB, 4))
+        assert expr.eval(ctx, env) == 0xAB
+        assert expr.width(env) == 8
+
+    def test_mux(self, env, ctx):
+        expr = Mux(fld("ipv4", "ttl").gt(0), Const(1, 8), Const(2, 8))
+        assert expr.eval(ctx, env) == 1
+        expr2 = Mux(fld("ipv4", "ttl").gt(100), Const(1, 8), Const(2, 8))
+        assert expr2.eval(ctx, env) == 2
+        assert expr.width(env) == 8
+
+    def test_children_traversal(self):
+        expr = Mux(Const(1), Const(2), Const(3))
+        assert len(expr.children()) == 3
+        binop = Const(1) + Const(2)
+        assert len(binop.children()) == 2
+        assert Const(5).children() == ()
+
+
+def _bare_ctx():
+    return EvalContext(Packet(), {}), TypeEnv()
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_add_commutes(self, a, b):
+        ctx, env = _bare_ctx()
+        left = BinOp("+", Const(a, 8), Const(b, 8)).eval(ctx, env)
+        right = BinOp("+", Const(b, 8), Const(a, 8)).eval(ctx, env)
+        assert left == right
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_xor_self_is_zero(self, a):
+        ctx, env = _bare_ctx()
+        assert BinOp("^", Const(a, 8), Const(a, 8)).eval(ctx, env) == 0
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_double_not_identity(self, a):
+        ctx, env = _bare_ctx()
+        expr = UnOp("~", UnOp("~", Const(a, 8)))
+        assert expr.eval(ctx, env) == a
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_slice_halves_concat_back(self, value):
+        ctx, env = _bare_ctx()
+        high = Slice(Const(value, 16), 15, 8)
+        low = Slice(Const(value, 16), 7, 0)
+        assert Concat(high, low).eval(ctx, env) == value

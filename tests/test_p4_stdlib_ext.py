@@ -1,0 +1,133 @@
+"""Tests for the extended stdlib: stateful firewall, INT telemetry."""
+
+import pytest
+
+from repro.netdebug.checker import LatencyCheck, OutputChecker
+from repro.p4.interpreter import Interpreter, Verdict
+from repro.p4.stdlib_ext import (
+    INSIDE_PORT,
+    INT_HEADER,
+    OUTSIDE_PORT,
+    int_telemetry,
+    stateful_firewall,
+)
+from repro.packet.builder import tcp_packet, udp_packet
+from repro.packet.headers import ipv4
+from repro.target.reference import make_reference_device
+
+
+def outbound(sport=5555, dport=80):
+    """Inside host 10.0.0.5 -> outside host 93.0.0.1."""
+    return udp_packet(
+        ipv4("93.0.0.1"), ipv4("10.0.0.5"), dport, sport
+    ).pack()
+
+
+def inbound(sport=80, dport=5555):
+    """The reply direction of :func:`outbound`."""
+    return udp_packet(
+        ipv4("10.0.0.5"), ipv4("93.0.0.1"), dport, sport
+    ).pack()
+
+
+class TestStatefulFirewall:
+    def test_outbound_opens_and_forwards(self):
+        interp = Interpreter(stateful_firewall())
+        result = interp.process(outbound(), ingress_port=INSIDE_PORT)
+        assert result.verdict is Verdict.FORWARDED
+        assert result.egress_port == OUTSIDE_PORT
+
+    def test_reply_admitted_after_outbound(self):
+        interp = Interpreter(stateful_firewall())
+        interp.process(outbound(), ingress_port=INSIDE_PORT)
+        reply = interp.process(inbound(), ingress_port=OUTSIDE_PORT)
+        assert reply.verdict is Verdict.FORWARDED
+        assert reply.egress_port == INSIDE_PORT
+
+    def test_unsolicited_inbound_dropped(self):
+        interp = Interpreter(stateful_firewall())
+        attack = interp.process(inbound(), ingress_port=OUTSIDE_PORT)
+        assert attack.verdict is Verdict.DROPPED
+
+    def test_state_is_per_flow(self):
+        interp = Interpreter(stateful_firewall(flow_slots=4096))
+        interp.process(outbound(sport=1111), ingress_port=INSIDE_PORT)
+        # The reply to a DIFFERENT flow stays blocked.
+        other = interp.process(
+            inbound(dport=2222), ingress_port=OUTSIDE_PORT
+        )
+        assert other.verdict is Verdict.DROPPED
+
+    def test_non_udp_refused(self):
+        interp = Interpreter(stateful_firewall())
+        packet = tcp_packet(ipv4("93.0.0.1"), ipv4("10.0.0.5"), 80, 1).pack()
+        result = interp.process(packet, ingress_port=INSIDE_PORT)
+        assert result.verdict is Verdict.DROPPED
+
+    def test_state_survives_across_packets_on_device(self):
+        device = make_reference_device("fw-state")
+        device.load(stateful_firewall())
+        assert device.process(outbound(), INSIDE_PORT)
+        outputs = device.process(inbound(), OUTSIDE_PORT)
+        assert outputs and outputs[0][0] == INSIDE_PORT
+
+
+class TestIntTelemetry:
+    def test_record_appended(self):
+        interp = Interpreter(int_telemetry(switch_id=7))
+        wire = udp_packet(ipv4("10.0.0.2"), ipv4("10.0.0.1"), 9, 9).pack()
+        result = interp.process(wire, ingress_port=3, timestamp=5000)
+        assert result.verdict is Verdict.FORWARDED
+        record = result.packet.get("int_meta")
+        assert record["switch_id"] == 7
+        assert record["ingress_port"] == 3
+        assert record["ingress_ts"] == 5000
+
+    def test_non_udp_unstamped(self):
+        interp = Interpreter(int_telemetry())
+        wire = tcp_packet(ipv4("10.0.0.2"), ipv4("10.0.0.1"), 9, 9).pack()
+        result = interp.process(wire)
+        assert not result.packet.has("int_meta")
+
+    def test_record_parseable_from_wire(self):
+        """The collector view: decode the record from raw output bytes."""
+        from repro.packet.packet import Header
+
+        interp = Interpreter(int_telemetry(switch_id=2))
+        wire = udp_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), 9, 9, payload=b""
+        ).pack()
+        out = interp.process(wire, ingress_port=1).packet.pack()
+        # int_meta sits right after ethernet+ipv4+udp.
+        offset = 14 + 20 + 8
+        record = Header.unpack(INT_HEADER, out[offset:])
+        assert record["switch_id"] == 2
+        assert record["ingress_port"] == 1
+
+
+class TestLatencyCheck:
+    def test_sla_pass_and_fail(self):
+        from repro.target.faults import Fault, FaultKind
+
+        device = make_reference_device("sla0")
+        device.load(int_telemetry())
+        checker = OutputChecker(device)
+        checker.add_check(LatencyCheck("sla-100", max_cycles=100))
+        wire = udp_packet(ipv4("10.0.0.2"), ipv4("10.0.0.1"), 9, 9).pack()
+        with checker:
+            device.inject(wire)
+        assert checker.outcomes()[0].ok
+
+        # Now slow a stage beyond the SLA.
+        device.injector.inject(
+            Fault(
+                FaultKind.EXTRA_LATENCY,
+                stage="ingress.0",
+                extra_cycles=500,
+            )
+        )
+        with checker:
+            device.inject(wire)
+        outcome = checker.outcomes()[0]
+        assert outcome.failed == 1
+        assert "SLA" in outcome.first_failure

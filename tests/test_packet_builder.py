@@ -1,0 +1,149 @@
+"""Tests for packet builders and the host-side convenience parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import PacketError
+from repro.packet.builder import (
+    ethernet_frame,
+    ipv4_packet,
+    netdebug_probe,
+    parse_ethernet,
+    raw_packet,
+    tcp_packet,
+    udp_packet,
+    vlan_tagged,
+)
+from repro.packet.headers import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_NETDEBUG,
+    ETHERTYPE_VLAN,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    ipv4,
+    mac,
+)
+
+
+class TestBuilders:
+    def test_ethernet_frame(self):
+        packet = ethernet_frame(0xAA, 0xBB, 0x1234, payload=b"pp")
+        assert packet.get("ethernet")["ether_type"] == 0x1234
+        assert packet.payload == b"pp"
+        assert packet.wire_length == 16
+
+    def test_ipv4_lengths(self):
+        packet = ipv4_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), payload=b"12345"
+        )
+        assert packet.get("ipv4")["total_len"] == 25
+        assert packet.wire_length == 14 + 20 + 5
+
+    def test_udp_lengths(self):
+        packet = udp_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), 53, 999, payload=b"abc"
+        )
+        assert packet.get("udp")["length"] == 8 + 3
+        assert packet.get("ipv4")["total_len"] == 20 + 8 + 3
+        assert packet.get("ipv4")["protocol"] == IPPROTO_UDP
+
+    def test_tcp_fields(self):
+        packet = tcp_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), 80, 1000,
+            seq_no=7, flags=0x12,
+        )
+        tcp = packet.get("tcp")
+        assert tcp["seq_no"] == 7
+        assert tcp["flags"] == 0x12
+        assert packet.get("ipv4")["protocol"] == IPPROTO_TCP
+
+    def test_vlan_tagging(self):
+        base = udp_packet(ipv4("10.0.0.2"), ipv4("10.0.0.1"), 53, 1)
+        tagged = vlan_tagged(base, vid=42, pcp=3)
+        assert tagged.get("ethernet")["ether_type"] == ETHERTYPE_VLAN
+        assert tagged.get("vlan")["vid"] == 42
+        assert tagged.get("vlan")["pcp"] == 3
+        assert tagged.get("vlan")["ether_type"] == ETHERTYPE_IPV4
+        # original untouched
+        assert base.get("ethernet")["ether_type"] == ETHERTYPE_IPV4
+
+    def test_vlan_requires_ethernet(self):
+        with pytest.raises(PacketError):
+            vlan_tagged(raw_packet(b"zz"), vid=1)
+
+    def test_netdebug_probe_wraps_inner(self):
+        inner = udp_packet(ipv4("10.0.0.2"), ipv4("10.0.0.1"), 53, 1)
+        probe = netdebug_probe(5, 77, timestamp=123, inner=inner)
+        assert probe.get("ethernet")["ether_type"] == ETHERTYPE_NETDEBUG
+        nd = probe.get("netdebug")
+        assert nd["stream_id"] == 5
+        assert nd["seq_no"] == 77
+        assert nd["timestamp"] == 123
+        assert probe.payload == inner.pack()
+
+    def test_raw_packet(self):
+        packet = raw_packet(b"\x01\x02")
+        assert packet.headers == []
+        assert packet.pack() == b"\x01\x02"
+
+
+class TestParseEthernet:
+    def test_udp_roundtrip(self):
+        packet = udp_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), 53, 999, payload=b"abc"
+        )
+        parsed = parse_ethernet(packet.pack())
+        assert parsed.header_names() == ["ethernet", "ipv4", "udp"]
+        assert parsed == packet
+
+    def test_tcp_roundtrip(self):
+        packet = tcp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 80, 1024)
+        parsed = parse_ethernet(packet.pack())
+        assert parsed.header_names() == ["ethernet", "ipv4", "tcp"]
+        assert parsed.pack() == packet.pack()
+
+    def test_vlan_roundtrip(self):
+        packet = vlan_tagged(
+            udp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 1), vid=7
+        )
+        parsed = parse_ethernet(packet.pack())
+        assert parsed.header_names() == ["ethernet", "vlan", "ipv4", "udp"]
+        assert parsed.pack() == packet.pack()
+
+    def test_unknown_ethertype_becomes_payload(self):
+        packet = ethernet_frame(1, 2, 0xBEEF, payload=b"opaque")
+        parsed = parse_ethernet(packet.pack())
+        assert parsed.header_names() == ["ethernet"]
+        assert parsed.payload == b"opaque"
+
+    def test_short_frame_raw(self):
+        parsed = parse_ethernet(b"\x00\x01")
+        assert parsed.headers == []
+        assert parsed.payload == b"\x00\x01"
+
+    def test_truncated_l3_stops_gracefully(self):
+        packet = ethernet_frame(1, 2, ETHERTYPE_IPV4, payload=b"\x45")
+        parsed = parse_ethernet(packet.pack())
+        assert parsed.header_names() == ["ethernet"]
+
+    def test_probe_parse(self):
+        probe = netdebug_probe(1, 2, payload=b"zz")
+        parsed = parse_ethernet(probe.pack())
+        assert parsed.header_names() == ["ethernet", "netdebug"]
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.binary(max_size=64),
+    )
+    def test_udp_roundtrip_property(self, dst, src, dport, sport, payload):
+        packet = udp_packet(dst, src, dport, sport, payload=payload)
+        wire = packet.pack()
+        parsed = parse_ethernet(wire)
+        assert parsed.pack() == wire
+        assert parsed.get("udp")["dst_port"] == dport
+        assert parsed.get("udp")["src_port"] == sport
+        assert parsed.get("ipv4")["dst_addr"] == dst
+        assert parsed.payload == payload

@@ -1,0 +1,143 @@
+"""Checksum tests, including the RFC 1071 reference example."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ChecksumError, PacketError
+from repro.packet.builder import ipv4_packet, tcp_packet, udp_packet
+from repro.packet.checksum import (
+    internet_checksum,
+    ipv4_header_checksum,
+    l4_checksum,
+    update_all_checksums,
+    update_ipv4_checksum,
+    update_l4_checksum,
+    verify_ipv4_checksum,
+)
+from repro.packet.checksum import require_valid_ipv4
+from repro.packet.headers import IPPROTO_ICMP, ipv4
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # RFC 1071 §3: data 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2,
+        # checksum is its complement.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_empty(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_all_ones_data(self):
+        assert internet_checksum(b"\xff\xff") == 0
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_verification_property(self, data):
+        """Appending the checksum makes the whole sum verify to zero."""
+        checksum = internet_checksum(data)
+        if len(data) % 2:
+            data += b"\x00"
+        combined = data + checksum.to_bytes(2, "big")
+        assert internet_checksum(combined) == 0
+
+
+class TestIpv4Checksum:
+    def test_builder_produces_valid(self):
+        packet = ipv4_packet(ipv4("10.0.0.2"), ipv4("10.0.0.1"))
+        assert verify_ipv4_checksum(packet)
+
+    def test_header_known_vector(self):
+        # Classic wikipedia example header checksums to 0xb861.
+        packet = ipv4_packet(
+            ipv4("192.168.0.199"),
+            ipv4("192.168.0.1"),
+            protocol=17,
+            ttl=64,
+            fix_checksums=False,
+        )
+        header = packet.get("ipv4")
+        header["total_len"] = 0x0073
+        header["identification"] = 0
+        header["flags"] = 0b010
+        assert ipv4_header_checksum(packet) == 0xB861
+
+    def test_mutation_invalidates(self):
+        packet = ipv4_packet(ipv4("10.0.0.2"), ipv4("10.0.0.1"))
+        packet.get("ipv4")["ttl"] = 63
+        assert not verify_ipv4_checksum(packet)
+        update_ipv4_checksum(packet)
+        assert verify_ipv4_checksum(packet)
+
+    def test_require_valid_raises(self):
+        packet = ipv4_packet(ipv4("10.0.0.2"), ipv4("10.0.0.1"))
+        packet.get("ipv4")["ttl"] = 1
+        with pytest.raises(ChecksumError):
+            require_valid_ipv4(packet)
+        update_ipv4_checksum(packet)
+        require_valid_ipv4(packet)  # no raise
+
+
+class TestL4Checksum:
+    def test_udp_checksum_stored_by_builder(self):
+        packet = udp_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), 53, 1234, payload=b"hi"
+        )
+        assert packet.get("udp")["checksum"] == l4_checksum(packet)
+
+    def test_tcp_checksum_stored_by_builder(self):
+        packet = tcp_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), 80, 5555, payload=b"GET /"
+        )
+        assert packet.get("tcp")["checksum"] == l4_checksum(packet)
+
+    def test_udp_zero_becomes_all_ones(self):
+        # Craft a segment whose computed checksum would be zero is hard;
+        # instead verify the rule is applied by checking the value is
+        # never zero across a payload sweep.
+        for index in range(64):
+            packet = udp_packet(
+                ipv4("10.0.0.2"), ipv4("10.0.0.1"), 53, 1234,
+                payload=bytes([index]),
+            )
+            assert packet.get("udp")["checksum"] != 0
+
+    def test_payload_change_changes_checksum(self):
+        a = udp_packet(ipv4("1.2.3.4"), ipv4("4.3.2.1"), 1, 2, payload=b"a")
+        b = udp_packet(ipv4("1.2.3.4"), ipv4("4.3.2.1"), 1, 2, payload=b"b")
+        assert a.get("udp")["checksum"] != b.get("udp")["checksum"]
+
+    def test_unsupported_protocol(self):
+        packet = ipv4_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), protocol=IPPROTO_ICMP
+        )
+        with pytest.raises(PacketError):
+            l4_checksum(packet)
+
+    def test_update_l4(self):
+        packet = udp_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), 53, 1234, payload=b"x"
+        )
+        packet.get("udp")["checksum"] = 0xDEAD
+        update_l4_checksum(packet)
+        assert packet.get("udp")["checksum"] == l4_checksum(packet)
+
+
+class TestUpdateAll:
+    def test_no_ipv4_is_noop(self):
+        from repro.packet.builder import ethernet_frame
+
+        packet = ethernet_frame(1, 2, 0x9999)
+        update_all_checksums(packet)  # must not raise
+
+    def test_fixes_both_layers(self):
+        packet = udp_packet(
+            ipv4("10.0.0.2"), ipv4("10.0.0.1"), 53, 1234, payload=b"zz"
+        )
+        packet.get("ipv4")["ttl"] = 9
+        packet.get("udp")["checksum"] = 0
+        update_all_checksums(packet)
+        assert verify_ipv4_checksum(packet)
+        assert packet.get("udp")["checksum"] == l4_checksum(packet)

@@ -1,0 +1,159 @@
+"""Tests for header layout descriptions (FieldSpec / HeaderSpec)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import PacketError
+from repro.packet.fields import FieldSpec, HeaderSpec
+
+
+class TestFieldSpec:
+    def test_basic(self):
+        spec = FieldSpec("ttl", 8, default=64)
+        assert spec.max_value == 255
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PacketError):
+            FieldSpec("", 8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(PacketError):
+            FieldSpec("x", 0)
+
+    def test_default_must_fit(self):
+        with pytest.raises(PacketError):
+            FieldSpec("x", 4, default=16)
+
+
+class TestHeaderSpecConstruction:
+    def test_build_helper(self):
+        spec = HeaderSpec.build("h", ("a", 8), ("b", 8))
+        assert spec.field_names == ("a", "b")
+        assert spec.bit_width == 16
+        assert spec.byte_width == 2
+
+    def test_mixed_fieldspec_and_tuple(self):
+        spec = HeaderSpec.build("h", FieldSpec("a", 4, default=2), ("b", 4))
+        assert spec.field("a").default == 2
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(PacketError):
+            HeaderSpec.build("h", ("a", 8), ("a", 8))
+
+    def test_non_byte_aligned_rejected(self):
+        with pytest.raises(PacketError):
+            HeaderSpec.build("h", ("a", 4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(PacketError):
+            HeaderSpec("h", ())
+
+    def test_unnamed_header_rejected(self):
+        with pytest.raises(PacketError):
+            HeaderSpec.build("", ("a", 8))
+
+
+class TestHeaderSpecAccess:
+    @pytest.fixture
+    def spec(self):
+        return HeaderSpec.build("h", ("a", 4), ("b", 4), ("c", 16))
+
+    def test_offsets(self, spec):
+        assert spec.offset_of("a") == 0
+        assert spec.offset_of("b") == 4
+        assert spec.offset_of("c") == 8
+
+    def test_unknown_field(self, spec):
+        with pytest.raises(PacketError):
+            spec.field("nope")
+        with pytest.raises(PacketError):
+            spec.offset_of("nope")
+
+    def test_has_field(self, spec):
+        assert spec.has_field("a")
+        assert not spec.has_field("z")
+
+
+class TestPackUnpack:
+    @pytest.fixture
+    def spec(self):
+        return HeaderSpec.build("h", ("hi", 4), ("lo", 4), ("word", 16))
+
+    def test_pack_known_values(self, spec):
+        data = spec.pack({"hi": 0xA, "lo": 0xB, "word": 0x1234})
+        assert data == b"\xab\x12\x34"
+
+    def test_pack_uses_defaults(self):
+        spec = HeaderSpec.build(
+            "h", FieldSpec("a", 8, default=0x42), ("b", 8)
+        )
+        assert spec.pack({}) == b"\x42\x00"
+
+    def test_pack_unknown_field_rejected(self, spec):
+        with pytest.raises(PacketError, match="unknown"):
+            spec.pack({"bogus": 1})
+
+    def test_pack_value_too_wide(self, spec):
+        with pytest.raises(PacketError):
+            spec.pack({"hi": 16})
+
+    def test_unpack(self, spec):
+        values = spec.unpack(b"\xab\x12\x34")
+        assert values == {"hi": 0xA, "lo": 0xB, "word": 0x1234}
+
+    def test_unpack_short_buffer(self, spec):
+        with pytest.raises(PacketError):
+            spec.unpack(b"\xab")
+
+    def test_unpack_ignores_trailing(self, spec):
+        values = spec.unpack(b"\xab\x12\x34\xff\xff")
+        assert values["word"] == 0x1234
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_roundtrip_property(self, hi, lo, word):
+        spec = HeaderSpec.build("h", ("hi", 4), ("lo", 4), ("word", 16))
+        values = {"hi": hi, "lo": lo, "word": word}
+        assert spec.unpack(spec.pack(values)) == values
+
+
+@st.composite
+def header_layouts(draw):
+    """Random byte-aligned header layouts for property tests."""
+    widths = draw(
+        st.lists(st.integers(min_value=1, max_value=24), min_size=1,
+                 max_size=8)
+    )
+    total = sum(widths)
+    if total % 8:
+        widths.append(8 - total % 8)
+    return HeaderSpec.build(
+        "rand", *[(f"f{i}", w) for i, w in enumerate(widths)]
+    )
+
+
+class TestLayoutProperties:
+    @given(header_layouts(), st.data())
+    def test_pack_unpack_roundtrip_random_layouts(self, spec, data):
+        values = {
+            f.name: data.draw(
+                st.integers(min_value=0, max_value=f.max_value)
+            )
+            for f in spec.fields
+        }
+        assert spec.unpack(spec.pack(values)) == values
+
+    @given(header_layouts())
+    def test_pack_length_matches_byte_width(self, spec):
+        assert len(spec.pack({})) == spec.byte_width
+
+    @given(header_layouts())
+    def test_offsets_are_contiguous(self, spec):
+        offset = 0
+        for field in spec.fields:
+            assert spec.offset_of(field.name) == offset
+            offset += field.width
+        assert offset == spec.bit_width

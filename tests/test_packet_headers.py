@@ -1,0 +1,121 @@
+"""Tests for the standard protocol header catalogue and address parsing."""
+
+import pytest
+
+from repro.packet.headers import (
+    ARP,
+    ETHERNET,
+    ICMP,
+    IPV4,
+    IPV6,
+    MPLS,
+    NETDEBUG,
+    STANDARD_HEADERS,
+    TCP,
+    UDP,
+    VLAN,
+    ipv4,
+    ipv6,
+    mac,
+)
+
+
+class TestHeaderWidths:
+    """Wire widths must match the RFC-defined sizes exactly."""
+
+    @pytest.mark.parametrize(
+        "spec,octets",
+        [
+            (ETHERNET, 14),
+            (VLAN, 4),
+            (ARP, 28),
+            (IPV4, 20),
+            (IPV6, 40),
+            (TCP, 20),
+            (UDP, 8),
+            (ICMP, 8),
+            (MPLS, 4),
+        ],
+    )
+    def test_byte_widths(self, spec, octets):
+        assert spec.byte_width == octets
+
+    def test_all_registered(self):
+        for name in (
+            "ethernet", "vlan", "arp", "ipv4", "ipv6", "tcp", "udp",
+            "icmp", "mpls", "netdebug",
+        ):
+            assert name in STANDARD_HEADERS
+            assert STANDARD_HEADERS[name].name == name
+
+    def test_ipv4_defaults(self):
+        assert IPV4.field("version").default == 4
+        assert IPV4.field("ihl").default == 5
+        assert IPV4.field("ttl").default == 64
+
+    def test_netdebug_magic_default(self):
+        assert NETDEBUG.field("magic").default == 0x4E44
+
+
+class TestMacParsing:
+    def test_basic(self):
+        assert mac("00:00:00:00:00:01") == 1
+
+    def test_full(self):
+        assert mac("ff:ff:ff:ff:ff:ff") == 0xFFFFFFFFFFFF
+
+    def test_mixed_case(self):
+        assert mac("Aa:Bb:Cc:00:00:00") == 0xAABBCC000000
+
+    def test_wrong_group_count(self):
+        with pytest.raises(ValueError):
+            mac("00:11:22:33:44")
+
+    def test_garbage(self):
+        with pytest.raises(ValueError):
+            mac("zz:00:00:00:00:00")
+
+
+class TestIpv4Parsing:
+    def test_basic(self):
+        assert ipv4("10.0.0.1") == 0x0A000001
+
+    def test_broadcast(self):
+        assert ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    def test_zero(self):
+        assert ipv4("0.0.0.0") == 0
+
+    def test_octet_out_of_range(self):
+        with pytest.raises(ValueError):
+            ipv4("256.0.0.1")
+
+    def test_wrong_group_count(self):
+        with pytest.raises(ValueError):
+            ipv4("10.0.0")
+
+
+class TestIpv6Parsing:
+    def test_full_form(self):
+        value = ipv6("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert value == 0x20010DB8000000000000000000000001
+
+    def test_compressed(self):
+        assert ipv6("2001:db8::1") == 0x20010DB8000000000000000000000001
+
+    def test_loopback(self):
+        assert ipv6("::1") == 1
+
+    def test_all_zero(self):
+        assert ipv6("::") == 0
+
+    def test_leading_compress(self):
+        assert ipv6("::ffff:0:1") == 0xFFFF00000001
+
+    def test_too_many_groups(self):
+        with pytest.raises(ValueError):
+            ipv6("1:2:3:4:5:6:7:8:9")
+
+    def test_group_too_large(self):
+        with pytest.raises(ValueError):
+            ipv6("12345::")

@@ -1,0 +1,185 @@
+"""Tests for Header and Packet: stack operations, field paths, equality."""
+
+import pytest
+
+from repro.exceptions import PacketError
+from repro.packet.fields import HeaderSpec
+from repro.packet.headers import ETHERNET, IPV4, UDP
+from repro.packet.packet import Header, Packet
+
+
+@pytest.fixture
+def eth():
+    return Header(ETHERNET, {"dst_addr": 2, "src_addr": 1,
+                             "ether_type": 0x0800})
+
+
+@pytest.fixture
+def ip():
+    return Header(IPV4, {"src_addr": 0x0A000001, "dst_addr": 0x0A000002})
+
+
+class TestHeader:
+    def test_defaults_filled(self):
+        header = Header(IPV4)
+        assert header["version"] == 4
+        assert header["ihl"] == 5
+
+    def test_attribute_and_item_access(self, eth):
+        assert eth.ether_type == 0x0800
+        assert eth["ether_type"] == 0x0800
+
+    def test_attribute_write(self, eth):
+        eth.ether_type = 0x86DD
+        assert eth["ether_type"] == 0x86DD
+
+    def test_unknown_field_read(self, eth):
+        with pytest.raises(AttributeError):
+            _ = eth.nonexistent
+        with pytest.raises(PacketError):
+            _ = eth["nonexistent"]
+
+    def test_unknown_field_write(self, eth):
+        with pytest.raises(PacketError):
+            eth["nonexistent"] = 1
+
+    def test_width_enforced_on_write(self, eth):
+        with pytest.raises(PacketError):
+            eth["ether_type"] = 0x10000
+
+    def test_width_enforced_on_init(self):
+        with pytest.raises(PacketError):
+            Header(ETHERNET, {"ether_type": 1 << 16})
+
+    def test_pack_unpack_roundtrip(self, ip):
+        data = ip.pack()
+        again = Header.unpack(IPV4, data)
+        assert again == ip
+
+    def test_copy_is_independent(self, eth):
+        clone = eth.copy()
+        clone["ether_type"] = 0
+        assert eth["ether_type"] == 0x0800
+
+    def test_equality_considers_values(self, eth):
+        other = Header(ETHERNET, eth.values())
+        assert other == eth
+        other["ether_type"] = 0
+        assert other != eth
+
+    def test_unhashable(self, eth):
+        with pytest.raises(TypeError):
+            hash(eth)
+
+    def test_repr_contains_name(self, eth):
+        assert "ethernet" in repr(eth)
+
+
+class TestPacketStack:
+    def test_duplicate_header_rejected_at_init(self, eth):
+        with pytest.raises(PacketError):
+            Packet(headers=[eth, eth.copy()])
+
+    def test_has_get(self, eth, ip):
+        packet = Packet(headers=[eth, ip])
+        assert packet.has("ethernet")
+        assert packet.get("ipv4") is ip
+        assert packet.get_or_none("tcp") is None
+        with pytest.raises(PacketError):
+            packet.get("tcp")
+
+    def test_invalid_header_not_has(self, eth):
+        eth.valid = False
+        packet = Packet(headers=[eth])
+        assert not packet.has("ethernet")
+        assert packet.get_or_none("ethernet") is eth
+
+    def test_push_front(self, ip, eth):
+        packet = Packet(headers=[ip])
+        packet.push(eth)
+        assert packet.header_names() == ["ethernet", "ipv4"]
+
+    def test_push_after(self, eth, ip):
+        packet = Packet(headers=[eth])
+        packet.push(ip, after="ethernet")
+        assert packet.header_names() == ["ethernet", "ipv4"]
+
+    def test_push_after_missing(self, eth, ip):
+        packet = Packet(headers=[eth])
+        with pytest.raises(PacketError):
+            packet.push(ip, after="vlan")
+
+    def test_push_duplicate(self, eth):
+        packet = Packet(headers=[eth])
+        with pytest.raises(PacketError):
+            packet.push(eth.copy())
+
+    def test_append_and_remove(self, eth, ip):
+        packet = Packet(headers=[eth])
+        packet.append(ip)
+        assert packet.header_names() == ["ethernet", "ipv4"]
+        removed = packet.remove("ethernet")
+        assert removed is eth
+        assert packet.header_names() == ["ipv4"]
+        with pytest.raises(PacketError):
+            packet.remove("ethernet")
+
+    def test_iter(self, eth, ip):
+        packet = Packet(headers=[eth, ip])
+        assert [h.name for h in packet] == ["ethernet", "ipv4"]
+
+
+class TestFieldPaths:
+    def test_get_set(self, eth, ip):
+        packet = Packet(headers=[eth, ip])
+        assert packet.get_field("ipv4.ttl") == 64
+        packet.set_field("ipv4.ttl", 5)
+        assert ip["ttl"] == 5
+
+    def test_malformed_path(self, eth):
+        packet = Packet(headers=[eth])
+        with pytest.raises(PacketError):
+            packet.get_field("ethernet")
+        with pytest.raises(PacketError):
+            packet.set_field("ethernet", 1)
+
+
+class TestSerialization:
+    def test_pack_order_and_payload(self, eth, ip):
+        packet = Packet(headers=[eth, ip], payload=b"xyz")
+        data = packet.pack()
+        assert data[:14] == eth.pack()
+        assert data[14:34] == ip.pack()
+        assert data[34:] == b"xyz"
+
+    def test_invalid_headers_skipped(self, eth, ip):
+        ip.valid = False
+        packet = Packet(headers=[eth, ip], payload=b"p")
+        assert packet.pack() == eth.pack() + b"p"
+        assert packet.wire_length == 15
+
+    def test_wire_length(self, eth):
+        packet = Packet(headers=[eth], payload=b"abc")
+        assert packet.wire_length == 17
+        assert len(packet.pack()) == 17
+
+    def test_copy_deep(self, eth):
+        packet = Packet(headers=[eth], payload=b"p",
+                        metadata={"ingress_port": 3})
+        clone = packet.copy()
+        clone.get("ethernet")["ether_type"] = 0
+        clone.metadata["ingress_port"] = 7
+        assert packet.get("ethernet")["ether_type"] == 0x0800
+        assert packet.metadata["ingress_port"] == 3
+
+    def test_equality_ignores_metadata(self, eth):
+        a = Packet(headers=[eth.copy()], payload=b"p", metadata={"x": 1})
+        b = Packet(headers=[eth.copy()], payload=b"p", metadata={"x": 2})
+        assert a == b
+
+    def test_summary(self, eth, ip):
+        packet = Packet(headers=[eth, ip], payload=b"abc")
+        assert packet.summary() == "<ethernet/ipv4 +3B payload>"
+
+    def test_summary_raw(self):
+        assert Packet(payload=b"abc").summary() == "<raw +3B payload>"

@@ -1,0 +1,92 @@
+"""Tests for the minimal pcap reader/writer."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import PacketError
+from repro.packet.pcap import PcapRecord, read_pcap, write_pcap
+
+
+class TestRecord:
+    def test_timestamp_split(self):
+        record = PcapRecord(b"x", timestamp_us=3_500_001)
+        assert record.ts_sec == 3
+        assert record.ts_usec == 500_001
+
+
+class TestRoundTrip:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        write_pcap(path, [])
+        assert read_pcap(path) == []
+
+    def test_bytes_records(self, tmp_path):
+        path = tmp_path / "raw.pcap"
+        write_pcap(path, [b"\x01\x02", b"\x03"])
+        records = read_pcap(path)
+        assert [r.data for r in records] == [b"\x01\x02", b"\x03"]
+
+    def test_timestamps_preserved(self, tmp_path):
+        path = tmp_path / "ts.pcap"
+        write_pcap(
+            path,
+            [PcapRecord(b"a", 1_000_001), PcapRecord(b"b", 2_000_002)],
+        )
+        records = read_pcap(path)
+        assert [r.timestamp_us for r in records] == [1_000_001, 2_000_002]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.binary(min_size=1, max_size=128),
+                st.integers(min_value=0, max_value=10**12),
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, tmp_path_factory, entries):
+        path = tmp_path_factory.mktemp("pcap") / "prop.pcap"
+        write_pcap(path, [PcapRecord(d, t) for d, t in entries])
+        records = read_pcap(path)
+        assert [(r.data, r.timestamp_us) for r in records] == entries
+
+
+class TestMalformed:
+    def test_truncated_global_header(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        path.write_bytes(b"\xd4\xc3")
+        with pytest.raises(PacketError):
+            read_pcap(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(PacketError):
+            read_pcap(path)
+
+    def test_truncated_record_header(self, tmp_path):
+        path = tmp_path / "tr.pcap"
+        write_pcap(path, [b"abcd"])
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(PacketError):
+            read_pcap(path)
+
+    def test_truncated_record_body(self, tmp_path):
+        path = tmp_path / "tb.pcap"
+        write_pcap(path, [b"abcd"])
+        data = path.read_bytes()
+        path.write_bytes(data[:-2])
+        with pytest.raises(PacketError):
+            read_pcap(path)
+
+    def test_big_endian_accepted(self, tmp_path):
+        path = tmp_path / "be.pcap"
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 1, 2, 3, 3) + b"abc"
+        path.write_bytes(header + record)
+        records = read_pcap(path)
+        assert records[0].data == b"abc"
+        assert records[0].timestamp_us == 1_000_002

@@ -1,0 +1,119 @@
+"""Discrete-event simulator tests: ordering, cancellation, bounds."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.events import Simulator, ns_per_cycle
+
+
+class TestScheduling:
+    def test_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_within_same_time(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, lambda: order.append(1))
+        sim.schedule(5, lambda: order.append(2))
+        sim.schedule(5, lambda: order.append(3))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(100, lambda: times.append(sim.now))
+        sim.schedule(200, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [100.0, 200.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1, lambda: order.append("nested"))
+
+        sim.schedule(10, first)
+        sim.schedule(100, lambda: order.append("last"))
+        sim.run()
+        assert order == ["first", "nested", "last"]
+
+
+class TestControl:
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10, lambda: fired.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append("early"))
+        sim.schedule(1000, lambda: fired.append("late"))
+        sim.run(until=100)
+        assert fired == ["early"]
+        assert sim.now == 100
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: fired.append(1))
+        assert sim.step()
+        assert not sim.step()
+        assert fired == [1]
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        handle = sim.schedule(42, lambda: None)
+        assert sim.peek_time() == 42
+        sim.cancel(handle)
+        assert sim.peek_time() is None
+
+    def test_runaway_detection(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1, reschedule)
+
+        sim.schedule(1, reschedule)
+        with pytest.raises(SimulationError, match="events"):
+            sim.run(max_events=100)
+
+    def test_events_run_counter(self):
+        sim = Simulator()
+        for index in range(5):
+            sim.schedule(index, lambda: None)
+        sim.run()
+        assert sim.events_run == 5
+
+
+class TestClockConversion:
+    def test_ns_per_cycle(self):
+        assert ns_per_cycle(200) == pytest.approx(5.0)
+        assert ns_per_cycle(1000) == pytest.approx(1.0)

@@ -1,0 +1,135 @@
+"""Traffic generator tests: determinism, sizes, malformed mixes."""
+
+import pytest
+
+from repro.p4.interpreter import Interpreter, Verdict
+from repro.p4.stdlib import strict_parser
+from repro.sim.traffic import (
+    FlowSpec,
+    IMIX_DISTRIBUTION,
+    constant_rate_times,
+    default_flow,
+    imix_stream,
+    malformed_mix,
+    pad_to_size,
+    poisson_times,
+    udp_stream,
+)
+from repro.packet.builder import udp_packet
+from repro.packet.headers import ipv4
+
+
+class TestPadding:
+    def test_pads_to_exact_size(self):
+        packet = udp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9)
+        padded = pad_to_size(packet, 128)
+        assert padded.wire_length == 128
+
+    def test_truncates_oversized_payload(self):
+        packet = udp_packet(
+            ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9, payload=b"x" * 200
+        )
+        padded = pad_to_size(packet, 64)
+        assert padded.wire_length == 64
+
+    def test_too_small_rejected(self):
+        packet = udp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9)
+        with pytest.raises(ValueError):
+            pad_to_size(packet, 10)
+
+    def test_original_untouched(self):
+        packet = udp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9)
+        pad_to_size(packet, 500)
+        assert packet.wire_length < 500
+
+
+class TestArrivalTimes:
+    def test_constant_rate(self):
+        times = list(constant_rate_times(1e6, 4))
+        assert times == [0.0, 1000.0, 2000.0, 3000.0]
+
+    def test_poisson_monotone_and_seeded(self):
+        a = list(poisson_times(1e6, 50, seed=1))
+        b = list(poisson_times(1e6, 50, seed=1))
+        c = list(poisson_times(1e6, 50, seed=2))
+        assert a == b
+        assert a != c
+        assert all(x < y for x, y in zip(a, a[1:]))
+
+    def test_poisson_mean_close_to_rate(self):
+        times = list(poisson_times(1e6, 2000, seed=3))
+        mean_gap = times[-1] / len(times)
+        assert 800 < mean_gap < 1250  # ~1000ns nominal
+
+
+class TestUdpStream:
+    def test_count_and_size(self):
+        packets = list(udp_stream(default_flow(), 10, size=200))
+        assert len(packets) == 10
+        assert all(p.wire_length == 200 for p in packets)
+
+    def test_deterministic_per_seed(self):
+        a = [p.pack() for p in udp_stream(default_flow(), 5, seed=9)]
+        b = [p.pack() for p in udp_stream(default_flow(), 5, seed=9)]
+        assert a == b
+
+    def test_five_tuple_applied(self):
+        flow = FlowSpec(
+            src_ip=ipv4("1.2.3.4"),
+            dst_ip=ipv4("5.6.7.8"),
+            src_port=111,
+            dst_port=222,
+        )
+        packet = next(udp_stream(flow, 1))
+        assert packet.get("ipv4")["src_addr"] == ipv4("1.2.3.4")
+        assert packet.get("udp")["dst_port"] == 222
+
+    def test_checksums_valid(self):
+        from repro.packet.checksum import verify_ipv4_checksum
+
+        for packet in udp_stream(default_flow(), 5, size=100):
+            assert verify_ipv4_checksum(packet)
+
+
+class TestImix:
+    def test_sizes_from_distribution(self):
+        allowed = {size for size, _ in IMIX_DISTRIBUTION}
+        packets = list(imix_stream(default_flow(), 50, seed=4))
+        assert {p.wire_length for p in packets} <= allowed
+
+    def test_small_frames_dominate(self):
+        packets = list(imix_stream(default_flow(), 600, seed=5))
+        small = sum(1 for p in packets if p.wire_length == 64)
+        large = sum(1 for p in packets if p.wire_length == 1518)
+        assert small > large
+
+
+class TestMalformedMix:
+    def test_labels_are_truthful(self):
+        """Every label must agree with the strict parser's spec verdict."""
+        program = strict_parser()
+        for packet, malformed in malformed_mix(default_flow(), 60, 0.5, 11):
+            result = Interpreter(program).process(packet.pack())
+            if malformed:
+                assert result.verdict is Verdict.PARSER_REJECTED
+            else:
+                assert result.verdict is Verdict.FORWARDED
+
+    def test_fraction_respected_roughly(self):
+        out = list(malformed_mix(default_flow(), 400, 0.5, seed=2))
+        bad = sum(1 for _, malformed in out if malformed)
+        assert 120 < bad < 280
+
+    def test_all_good_when_zero_fraction(self):
+        out = list(malformed_mix(default_flow(), 20, 0.0, seed=2))
+        assert all(not malformed for _, malformed in out)
+
+    def test_deterministic(self):
+        a = [(p.pack(), m) for p, m in malformed_mix(default_flow(), 20, 0.5, 7)]
+        b = [(p.pack(), m) for p, m in malformed_mix(default_flow(), 20, 0.5, 7)]
+        assert a == b
+
+
+class TestDefaultFlow:
+    def test_indexed_flows_distinct(self):
+        assert default_flow(0) != default_flow(1)

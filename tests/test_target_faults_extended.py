@@ -1,0 +1,154 @@
+"""Tests for the COUNTER_FREEZE and EXTRA_LATENCY fault kinds."""
+
+import pytest
+
+from repro.netdebug.controller import NetDebugController
+from repro.netdebug.generator import StreamSpec
+from repro.netdebug.session import ValidationSession
+from repro.p4.stdlib import port_counter, strict_parser
+from repro.packet.builder import ethernet_frame, udp_packet
+from repro.packet.headers import ipv4
+from repro.sim.traffic import default_flow, udp_stream
+from repro.target.faults import Fault, FaultKind
+from repro.target.reference import make_reference_device
+
+
+class TestCounterFreeze:
+    def make_device(self, frozen: bool):
+        device = make_reference_device(f"cf-{frozen}")
+        device.load(port_counter(num_ports=4))
+        if frozen:
+            device.injector.inject(
+                Fault(
+                    FaultKind.COUNTER_FREEZE,
+                    stage="ingress.0",
+                    counter="per_port_pkts",
+                )
+            )
+        return device
+
+    def test_counter_stops_incrementing(self):
+        device = self.make_device(frozen=True)
+        frame = ethernet_frame(1, 2, 3).pack()
+        for _ in range(5):
+            device.process(frame, 1)
+        assert device.control_plane.counter_read("per_port_pkts", 1) == 0
+
+    def test_packets_still_forwarded(self):
+        """The freeze is silent: traffic flows, accounting lies."""
+        device = self.make_device(frozen=True)
+        frame = ethernet_frame(1, 2, 3).pack()
+        assert device.process(frame, 1)  # still emits
+
+    def test_healthy_counter_counts(self):
+        device = self.make_device(frozen=False)
+        frame = ethernet_frame(1, 2, 3).pack()
+        for _ in range(5):
+            device.process(frame, 1)
+        assert device.control_plane.counter_read("per_port_pkts", 1) == 5
+
+    def test_other_counters_unaffected(self):
+        device = make_reference_device("cf-other")
+        device.load(port_counter(num_ports=4))
+        device.injector.inject(
+            Fault(
+                FaultKind.COUNTER_FREEZE,
+                stage="ingress.0",
+                counter="unrelated",
+            )
+        )
+        device.process(ethernet_frame(1, 2, 3).pack(), 1)
+        assert device.control_plane.counter_read("per_port_pkts", 1) == 1
+
+    def test_netdebug_audit_detects_freeze(self):
+        """The internal-accounting check catches the lying counter —
+        exactly the class of bug only in-device tooling can see."""
+        device = self.make_device(frozen=True)
+        controller = NetDebugController(device)
+        packets = list(udp_stream(default_flow(), 10, size=96))
+        controller.run(
+            ValidationSession(
+                name="audit",
+                streams=[StreamSpec(stream_id=1, packets=packets)],
+            )
+        )
+        counted = device.control_plane.counter_read("per_port_pkts", 0)
+        assert counted == 0  # NetDebug sees the discrepancy: 0 != 10
+
+    def test_register_still_updates(self):
+        device = self.make_device(frozen=True)
+        frame = ethernet_frame(1, 2, 3, payload=b"abc").pack()
+        device.process(frame, 1)
+        assert device.control_plane.register_read("last_len", 1) == len(
+            frame
+        )
+
+
+class TestExtraLatency:
+    WIRE = udp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9).pack()
+
+    def make_device(self, extra: int):
+        device = make_reference_device(f"lat-{extra}")
+        device.load(strict_parser(forward_port=0))
+        if extra:
+            device.injector.inject(
+                Fault(
+                    FaultKind.EXTRA_LATENCY,
+                    stage="ingress.0",
+                    extra_cycles=extra,
+                )
+            )
+        return device
+
+    def test_latency_increases_by_exact_amount(self):
+        baseline = self.make_device(0).inject(self.WIRE).latency_cycles
+        slowed = self.make_device(500).inject(self.WIRE).latency_cycles
+        assert slowed == baseline + 500
+
+    def test_output_unchanged(self):
+        """Latency faults are functionally invisible — outputs match."""
+        fast = self.make_device(0).inject(self.WIRE)
+        slow = self.make_device(500).inject(self.WIRE)
+        assert fast.result.packet.pack() == slow.result.packet.pack()
+
+    def test_detectable_by_probe_timestamps(self):
+        """NetDebug's probe latency accounting exposes the slow stage."""
+        from repro.p4.stdlib import reflector
+        from repro.netdebug.checker import OutputChecker
+        from repro.netdebug.generator import PacketGenerator
+
+        def mean_latency(extra):
+            device = make_reference_device(f"lat-probe-{extra}")
+            device.load(reflector())
+            if extra:
+                device.injector.inject(
+                    Fault(
+                        FaultKind.EXTRA_LATENCY,
+                        stage="ingress.0",
+                        extra_cycles=extra,
+                    )
+                )
+            generator = PacketGenerator(device)
+            generator.configure(
+                StreamSpec(
+                    stream_id=1,
+                    packets=list(udp_stream(default_flow(), 10)),
+                    wrap=True,
+                )
+            )
+            checker = OutputChecker(device)
+            with checker:
+                generator.run_stream(1)
+            return checker.latency.mean
+
+        assert mean_latency(400) == mean_latency(0) + 400
+
+    def test_multiple_latency_faults_accumulate(self):
+        device = self.make_device(100)
+        device.injector.inject(
+            Fault(
+                FaultKind.EXTRA_LATENCY, stage="parser", extra_cycles=50
+            )
+        )
+        baseline = self.make_device(0).inject(self.WIRE).latency_cycles
+        assert device.inject(self.WIRE).latency_cycles == baseline + 150

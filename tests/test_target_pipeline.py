@@ -1,0 +1,160 @@
+"""Staged pipeline tests: stage decomposition, taps, injection, latency."""
+
+import pytest
+
+from repro.exceptions import TargetError
+from repro.p4.interpreter import Verdict
+from repro.p4.stdlib import acl_firewall, ipv4_router, strict_parser
+from repro.packet.builder import ethernet_frame, udp_packet
+from repro.packet.headers import ipv4, mac
+from repro.target.reference import ReferenceCompiler, make_reference_device
+from repro.target.sdnet import SDNetCompiler
+from repro.target.pipeline import StagedPipeline, TAP_INPUT, TAP_OUTPUT
+
+
+def build_pipeline(program_factory=ipv4_router, compiler_cls=ReferenceCompiler):
+    compiler = compiler_cls()
+    program = program_factory()
+    compiled = compiler.compile(program)
+    return StagedPipeline(compiled, compiler.limits)
+
+
+def routed_program():
+    from repro.controlplane import RuntimeAPI
+    from repro.p4.interpreter import RuntimeState
+
+    program = ipv4_router()
+    RuntimeAPI(program, RuntimeState.for_program(program)).table_add(
+        "ipv4_lpm", "route", [(ipv4("10.0.0.0"), 8)],
+        [mac("aa:bb:cc:dd:ee:01"), 2],
+    )
+    return program
+
+
+ROUTED_WIRE = udp_packet(
+    ipv4("10.3.3.3"), ipv4("192.168.0.1"), 53, 99, payload=b"q"
+).pack()
+
+
+class TestTopology:
+    def test_stage_names_shape(self):
+        pipeline = build_pipeline()
+        names = pipeline.stage_names()
+        assert names[0] == TAP_INPUT
+        assert names[1] == "parser"
+        assert names[-2] == "deparser"
+        assert names[-1] == TAP_OUTPUT
+        assert any(n.startswith("ingress.") for n in names)
+
+    def test_multi_statement_controls_get_stages(self):
+        pipeline = build_pipeline(acl_firewall)
+        ingress_stages = [
+            n for n in pipeline.stage_names() if n.startswith("ingress.")
+        ]
+        assert len(ingress_stages) == 2  # acl block + fwd conditional
+
+    def test_attach_unknown_tap_rejected(self):
+        pipeline = build_pipeline()
+        with pytest.raises(TargetError):
+            pipeline.attach_tap("nowhere", lambda s: None)
+
+    def test_detach_unattached_rejected(self):
+        pipeline = build_pipeline()
+        with pytest.raises(TargetError):
+            pipeline.detach_tap(TAP_INPUT, lambda s: None)
+
+
+class TestTraversal:
+    def test_snapshots_at_every_stage(self):
+        pipeline = build_pipeline(routed_program)
+        seen = []
+        for stage in pipeline.stage_names():
+            pipeline.attach_tap(
+                stage, lambda s, stage=stage: seen.append((stage, s.alive))
+            )
+        run = pipeline.process(ROUTED_WIRE)
+        assert run.result.verdict is Verdict.FORWARDED
+        assert [s for s, _ in seen] == pipeline.stage_names()
+        assert all(alive for _, alive in seen)
+
+    def test_output_tap_carries_wire(self):
+        pipeline = build_pipeline(routed_program)
+        captured = []
+        pipeline.attach_tap(TAP_OUTPUT, captured.append)
+        run = pipeline.process(ROUTED_WIRE)
+        assert captured[0].wire == run.result.packet.pack()
+
+    def test_reject_dies_at_parser(self):
+        pipeline = build_pipeline(strict_parser)
+        dead = []
+        pipeline.attach_tap("parser", dead.append)
+        run = pipeline.process(
+            ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 30).pack()
+        )
+        assert run.result.verdict is Verdict.PARSER_REJECTED
+        assert run.died_at == "parser"
+        assert not dead[0].alive
+        assert dead[0].verdict_hint == "parser_reject"
+
+    def test_program_drop_records_stage(self):
+        pipeline = build_pipeline(ipv4_router)  # no routes -> drop
+        run = pipeline.process(ROUTED_WIRE)
+        assert run.result.verdict is Verdict.DROPPED
+        assert run.died_at == "ingress.0"
+
+    def test_sdnet_pipeline_ignores_reject(self):
+        pipeline = build_pipeline(strict_parser, SDNetCompiler)
+        run = pipeline.process(
+            ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 30).pack()
+        )
+        assert run.result.verdict is Verdict.FORWARDED
+
+    def test_latency_positive_and_grows_with_stages(self):
+        short = build_pipeline(strict_parser)
+        long = build_pipeline(acl_firewall)
+        wire = udp_packet(ipv4("1.1.1.1"), ipv4("2.2.2.2"), 53, 9).pack()
+        run_short = short.process(wire)
+        run_long = long.process(wire)
+        assert run_short.latency_cycles > 0
+        assert run_long.latency_cycles > run_short.latency_cycles
+
+
+class TestInjection:
+    def test_inject_at_parser_equivalent_to_input(self):
+        pipeline = build_pipeline(routed_program)
+        a = pipeline.process(ROUTED_WIRE, inject_at=TAP_INPUT)
+        b = pipeline.process(ROUTED_WIRE, inject_at="parser")
+        assert a.result.packet.pack() == b.result.packet.pack()
+
+    def test_inject_past_stage_skips_it(self):
+        """Injection downstream of a dropping stage survives."""
+        pipeline = build_pipeline(ipv4_router)  # drops on table miss
+        normal = pipeline.process(ROUTED_WIRE)
+        assert normal.result.verdict is Verdict.DROPPED
+        past = pipeline.process(ROUTED_WIRE, inject_at="deparser")
+        assert past.result.verdict is Verdict.FORWARDED
+
+    def test_inject_unknown_point_rejected(self):
+        pipeline = build_pipeline()
+        with pytest.raises(TargetError):
+            pipeline.process(b"", inject_at="bogus")
+
+    def test_late_injection_still_parses(self):
+        pipeline = build_pipeline(routed_program)
+        run = pipeline.process(ROUTED_WIRE, inject_at="ingress.0")
+        assert run.result.verdict is Verdict.FORWARDED
+        # Parsed representation was available to the match-action stage.
+        assert run.result.packet.has("ipv4")
+
+    def test_late_injection_of_malformed_rejected(self):
+        pipeline = build_pipeline(strict_parser)
+        bad = ethernet_frame(1, 2, 0xBEEF, payload=b"x" * 30).pack()
+        run = pipeline.process(bad, inject_at="ingress.0")
+        assert run.result.verdict is Verdict.PARSER_REJECTED
+
+    def test_stages_traversed_recorded(self):
+        pipeline = build_pipeline(routed_program)
+        run = pipeline.process(ROUTED_WIRE)
+        assert run.stages_traversed == pipeline.stage_names()
+        partial = pipeline.process(ROUTED_WIRE, inject_at="deparser")
+        assert partial.stages_traversed == ["deparser", TAP_OUTPUT]

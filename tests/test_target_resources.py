@@ -1,0 +1,109 @@
+"""Tests for architecture limits and the FPGA resource model."""
+
+import pytest
+
+from repro.p4.stdlib import (
+    PROGRAMS,
+    acl_firewall,
+    ipv4_router,
+    l2_switch,
+    port_counter,
+    reflector,
+)
+from repro.target.limits import ArchLimits, REFERENCE_LIMITS, SDNET_LIMITS
+from repro.target.resources import (
+    DeviceCapacity,
+    ResourceUsage,
+    SUME_CAPACITY,
+    estimate_parser,
+    estimate_program,
+    estimate_stateful,
+)
+
+
+class TestLimits:
+    def test_line_rate(self):
+        limits = ArchLimits(name="x", clock_mhz=200, bus_bytes=32)
+        assert limits.line_rate_gbps == pytest.approx(51.2)
+
+    def test_sdnet_claims_reject(self):
+        # The published limits CLAIM reject support; the backend lies.
+        assert SDNET_LIMITS.supports_reject
+
+    def test_sdnet_no_range(self):
+        from repro.p4.table import MatchKind
+
+        assert MatchKind.RANGE not in SDNET_LIMITS.supported_match_kinds
+        assert MatchKind.RANGE in REFERENCE_LIMITS.supported_match_kinds
+
+    def test_sdnet_tighter_than_reference(self):
+        assert SDNET_LIMITS.max_parse_depth < REFERENCE_LIMITS.max_parse_depth
+        assert SDNET_LIMITS.max_tables < REFERENCE_LIMITS.max_tables
+        assert SDNET_LIMITS.max_table_size < REFERENCE_LIMITS.max_table_size
+
+
+class TestResourceUsage:
+    def test_addition(self):
+        total = ResourceUsage(1, 2, 3, 4) + ResourceUsage(10, 20, 30, 40)
+        assert total == ResourceUsage(11, 22, 33, 44)
+
+    def test_scaling(self):
+        assert ResourceUsage(100, 100, 10, 2).scaled(0.5) == ResourceUsage(
+            50, 50, 5, 1
+        )
+
+    def test_capacity_utilization(self):
+        capacity = DeviceCapacity(1000, 1000, 100, 10)
+        usage = ResourceUsage(500, 100, 50, 5)
+        utilization = capacity.utilization(usage)
+        assert utilization["luts"] == 0.5
+        assert utilization["bram_blocks"] == 0.5
+        assert capacity.fits(usage)
+        assert not capacity.fits(ResourceUsage(2000, 0, 0, 0))
+
+    def test_sume_capacity_is_virtex7(self):
+        assert SUME_CAPACITY.luts == 433_200
+        assert SUME_CAPACITY.bram_blocks == 1_470
+
+
+class TestEstimates:
+    def test_all_programs_positive(self):
+        for factory in PROGRAMS.values():
+            usage = estimate_program(factory())
+            assert usage.luts > 0
+            assert usage.flipflops > 0
+            assert usage.bram_blocks > 0
+
+    def test_all_programs_fit_sume(self):
+        for name, factory in PROGRAMS.items():
+            usage = estimate_program(factory())
+            assert SUME_CAPACITY.fits(usage), name
+
+    def test_ternary_costs_more_than_exact(self):
+        """TCAM emulation must dominate: the relative shape that matters."""
+        acl = estimate_program(acl_firewall())
+        switch = estimate_program(l2_switch())
+        assert acl.luts > 2 * switch.luts
+
+    def test_bigger_table_costs_more(self):
+        small = estimate_program(ipv4_router(lpm_size=64))
+        large = estimate_program(ipv4_router(lpm_size=4096))
+        assert large.bram_blocks >= small.bram_blocks
+        assert large.luts >= small.luts
+
+    def test_stateful_uses_bram(self):
+        usage = estimate_stateful(port_counter(num_ports=1024))
+        assert usage.bram_blocks >= 2
+        assert usage.luts == 0
+
+    def test_parser_scales_with_states(self):
+        simple = estimate_parser(reflector())
+        complex_ = estimate_parser(acl_firewall())
+        assert complex_.luts > simple.luts
+
+    def test_hash_units_add_dsps(self):
+        from repro.p4.stdlib import ecmp_load_balancer
+
+        with_hash = estimate_program(ecmp_load_balancer())
+        without = estimate_program(l2_switch())
+        assert with_hash.dsp_slices > without.dsp_slices

@@ -1,0 +1,92 @@
+"""Tests for the seeded-defect workload builders used by Figure 2."""
+
+import pytest
+
+from repro.netdebug.usecases.workloads import (
+    INTENT_ALLOW,
+    INTENT_DENY,
+    allowed_packet,
+    buggy_acl_program,
+    denied_packet,
+    install_acl_intent,
+    intact_acl_program,
+    router_with_entry,
+)
+from repro.p4.interpreter import Interpreter, Verdict
+from repro.packet.builder import parse_ethernet
+from repro.packet.headers import ipv4
+
+
+class TestAclPrograms:
+    def test_intact_acl_enforces_intent(self):
+        program = intact_acl_program()
+        install_acl_intent(program)
+        denied = Interpreter(program).process(denied_packet())
+        allowed = Interpreter(program).process(allowed_packet())
+        assert denied.verdict is Verdict.DROPPED
+        assert allowed.verdict is Verdict.FORWARDED
+        assert allowed.egress_port == 1
+
+    def test_buggy_acl_leaks_denied_traffic(self):
+        program = buggy_acl_program()
+        install_acl_intent(program)
+        denied = Interpreter(program).process(denied_packet())
+        # The seeded bug: deny is a no-op, so the packet sails through.
+        assert denied.verdict is Verdict.FORWARDED
+
+    def test_programs_differ_only_in_deny_body(self):
+        from repro.p4.json_loader import program_to_dict
+
+        buggy = program_to_dict(buggy_acl_program())
+        intact = program_to_dict(intact_acl_program())
+        # Same structure everywhere except the deny action body.
+        assert buggy["parser"] == intact["parser"]
+        assert buggy["deparser"] == intact["deparser"]
+        buggy_deny = next(
+            a
+            for t in buggy["ingress"]["tables"]
+            for a in t["actions"]
+            if a["name"] == "deny"
+        )
+        intact_deny = next(
+            a
+            for t in intact["ingress"]["tables"]
+            for a in t["actions"]
+            if a["name"] == "deny"
+        )
+        assert buggy_deny["body"] == []
+        assert intact_deny["body"] == [{"op": "drop"}]
+
+    def test_packets_match_intent_constants(self):
+        denied = parse_ethernet(denied_packet())
+        assert denied.get("ipv4")["src_addr"] == INTENT_DENY["src_ip"]
+        assert denied.get("udp")["dst_port"] == INTENT_DENY["dst_port"]
+        allowed = parse_ethernet(allowed_packet())
+        assert allowed.get("ipv4")["src_addr"] == INTENT_ALLOW["src_ip"]
+        assert allowed.get("udp")["dst_port"] == INTENT_ALLOW["dst_port"]
+
+    def test_intent_installs_one_entry(self):
+        program = intact_acl_program()
+        install_acl_intent(program)
+        assert len(program.table("acl").entries) == 1
+        entry = program.table("acl").entries[0]
+        assert entry.action == "deny"
+        assert entry.priority == 10
+
+
+class TestRouterWithEntry:
+    def test_entry_installed_at_requested_port(self):
+        program = router_with_entry(5)
+        entry = program.table("ipv4_lpm").entries[0]
+        assert entry.action_data[1] == 5
+
+    def test_behavioural_difference_between_ports(self):
+        from repro.packet.builder import udp_packet
+
+        wire = udp_packet(
+            ipv4("10.7.7.7"), ipv4("172.16.0.5"), 9000, 1000
+        ).pack()
+        a = Interpreter(router_with_entry(2)).process(wire)
+        b = Interpreter(router_with_entry(3)).process(wire)
+        assert a.egress_port == 2
+        assert b.egress_port == 3

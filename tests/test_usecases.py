@@ -1,0 +1,229 @@
+"""Per-use-case capability tests (the cells of Figure 2)."""
+
+import pytest
+
+from repro.netdebug.report import Capability
+from repro.netdebug.usecases import (
+    TOOLS,
+    USECASE_MODULES,
+    USECASES,
+    architecture_check,
+    comparison,
+    compiler_check,
+    functional,
+    performance,
+    resources,
+    status_monitoring,
+)
+from repro.netdebug.usecases.base import Challenge, score_suite
+
+
+class TestBase:
+    def test_challenge_score_bounds(self):
+        with pytest.raises(Exception):
+            Challenge("x", 1.5)
+        with pytest.raises(Exception):
+            Challenge("x", -0.1)
+
+    def test_score_suite_unknown_tool(self):
+        with pytest.raises(Exception):
+            score_suite("functional", "magic", [])
+
+    def test_capability_thresholds(self):
+        assert Capability.from_score(1.0) is Capability.FULL
+        assert Capability.from_score(0.9) is Capability.FULL
+        assert Capability.from_score(0.5) is Capability.PARTIAL
+        assert Capability.from_score(0.25) is Capability.PARTIAL
+        assert Capability.from_score(0.1) is Capability.NONE
+        assert Capability.from_score(0.0) is Capability.NONE
+
+    def test_empty_suite_scores_zero(self):
+        result = score_suite("functional", "netdebug", [])
+        assert result.score == 0.0
+
+    def test_modules_registry_complete(self):
+        assert set(USECASE_MODULES) == set(USECASES)
+
+    def test_unknown_tool_rejected_by_modules(self):
+        for module in USECASE_MODULES.values():
+            with pytest.raises(ValueError):
+                module.run("wizard")
+
+
+class TestFunctional:
+    def test_netdebug_full(self):
+        result = functional.run("netdebug", seed=1)
+        assert result.capability is Capability.FULL
+        assert len(result.challenges) == 5
+
+    def test_formal_partial_with_exact_blind_spots(self):
+        result = functional.run("formal", seed=1)
+        assert result.capability is Capability.PARTIAL
+        by_name = {c.name: c.score for c in result.challenges}
+        assert by_name["spec-bug"] == 1.0
+        assert by_name["control-plane-bug"] == 1.0
+        assert by_name["target-bug"] == 0.0        # the §4 blind spot
+        assert by_name["internal-blackhole"] == 0.0
+        assert by_name["internal-accounting"] == 0.0
+
+    def test_external_partial(self):
+        result = functional.run("external", seed=1)
+        assert result.capability is Capability.PARTIAL
+        by_name = {c.name: c.score for c in result.challenges}
+        assert by_name["target-bug"] == 1.0        # sees the symptom
+        assert by_name["internal-blackhole"] == 0.5
+        assert by_name["internal-accounting"] == 0.0
+
+
+class TestPerformance:
+    def test_netdebug_full_with_metrics(self):
+        result = performance.run("netdebug")
+        assert result.capability is Capability.FULL
+
+    def test_measure_netdebug_values(self):
+        measured = performance.measure_netdebug()
+        assert measured["throughput_gbps"] > 0
+        assert measured["packet_rate_mpps"] > 0
+        assert measured["latency_cycles_mean"] > 0
+        assert measured["samples"] == performance.STREAM_LEN
+        assert measured["line_rate_gbps"] > measured["throughput_gbps"] * 0
+
+    def test_external_partial(self):
+        result = performance.run("external")
+        assert result.capability is Capability.PARTIAL
+
+    def test_formal_none(self):
+        result = performance.run("formal")
+        assert result.capability is Capability.NONE
+
+
+class TestCompilerCheck:
+    def test_netdebug_finds_all_three(self):
+        result = compiler_check.run("netdebug", seed=2)
+        assert result.capability is Capability.FULL
+        assert all(c.score == 1.0 for c in result.challenges)
+
+    def test_formal_blind(self):
+        result = compiler_check.run("formal")
+        assert result.capability is Capability.NONE
+
+    def test_external_symptoms_only(self):
+        result = compiler_check.run("external", seed=2)
+        assert result.capability is Capability.PARTIAL
+        by_name = {c.name: c.score for c in result.challenges}
+        assert by_name["range-match"] == 0.0
+
+
+class TestArchitectureCheck:
+    def test_netdebug_full(self):
+        result = architecture_check.run("netdebug")
+        assert result.capability is Capability.FULL
+
+    def test_probe_parse_depth_matches_limits(self):
+        from repro.target.limits import SDNET_LIMITS
+
+        assert (
+            architecture_check.probe_parse_depth()
+            == SDNET_LIMITS.max_parse_depth
+        )
+
+    def test_probe_table_capacity(self):
+        installed, overflow_rejected = (
+            architecture_check.probe_table_capacity(16)
+        )
+        assert installed == 16
+        assert overflow_rejected
+
+    def test_match_kind_probe(self):
+        kinds = architecture_check.probe_match_kinds()
+        assert kinds == {
+            "exact": True, "lpm": True, "ternary": True, "range": False
+        }
+
+    def test_baselines(self):
+        assert (
+            architecture_check.run("external").capability
+            is Capability.PARTIAL
+        )
+        assert (
+            architecture_check.run("formal").capability is Capability.NONE
+        )
+
+
+class TestResources:
+    def test_netdebug_full(self):
+        result = resources.run("netdebug")
+        assert result.capability is Capability.FULL
+
+    def test_sweep_reports_all_programs(self):
+        from repro.p4.stdlib import PROGRAMS
+
+        sweep = resources.resource_sweep()
+        assert set(sweep) == set(PROGRAMS)
+        quantified = [n for n, info in sweep.items() if "luts" in info]
+        assert len(quantified) >= 7
+
+    def test_baselines_none(self):
+        assert resources.run("external").capability is Capability.NONE
+        assert resources.run("formal").capability is Capability.NONE
+
+
+class TestStatusMonitoring:
+    def test_netdebug_full(self):
+        result = status_monitoring.run("netdebug")
+        assert result.capability is Capability.FULL
+
+    def test_monitored_run_details(self):
+        controller, host_rx, sent = status_monitoring.monitored_run(
+            packet_count=80, fault_after=40
+        )
+        # The fault ate the second half: host got only the first part.
+        assert host_rx < sent
+        assert controller.status_log
+        final = controller.status_log[-1].status
+        assert final["stats"]["dropped"] > 0
+
+    def test_baselines_none(self):
+        assert (
+            status_monitoring.run("external").capability is Capability.NONE
+        )
+        assert (
+            status_monitoring.run("formal").capability is Capability.NONE
+        )
+
+
+class TestComparison:
+    def test_netdebug_full(self):
+        result = comparison.run("netdebug", seed=3)
+        assert result.capability is Capability.FULL
+
+    def test_formal_functional_only(self):
+        result = comparison.run("formal", seed=3)
+        assert result.capability is Capability.PARTIAL
+        by_name = {c.name: c.score for c in result.challenges}
+        assert by_name["functional-diff"] == 1.0
+        assert by_name["performance-diff"] == 0.0
+
+    def test_external_partial(self):
+        result = comparison.run("external", seed=3)
+        assert result.capability is Capability.PARTIAL
+
+    def test_alt_router_seeded_difference(self):
+        """The alt router forgets the TTL decrement — visibly different."""
+        from repro.controlplane import RuntimeAPI
+        from repro.p4.interpreter import Interpreter, RuntimeState
+        from repro.p4.stdlib import ipv4_router
+        from repro.packet.builder import udp_packet
+        from repro.packet.headers import ipv4
+
+        alt = comparison.ipv4_router_alt()
+        comparison.install_same_route(alt)
+        ref = ipv4_router()
+        comparison.install_same_route(ref)
+        wire = udp_packet(
+            ipv4("10.5.5.5"), ipv4("192.168.0.1"), 53, 9
+        ).pack()
+        out_ref = Interpreter(ref).process(wire)
+        out_alt = Interpreter(alt).process(wire)
+        assert out_ref.packet.get("ipv4")["ttl"] == 63
+        assert out_alt.packet.get("ipv4")["ttl"] == 64  # not decremented
