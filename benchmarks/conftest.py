@@ -5,9 +5,18 @@ case study). Benchmarks both *time* the experiment kernel via
 pytest-benchmark and *verify* the reproduced result's shape, attaching the
 reproduced rows to ``benchmark.extra_info`` and printing a paper-style
 table (visible with ``pytest -s`` or in the saved benchmark JSON).
+
+Every timed run also appends one entry to ``BENCH_perf.json`` at the
+repository root: per-benchmark median timings plus the ``extra_info``
+rows. The file is the repo's performance trajectory — diff entries
+across commits to see a hot path regress or improve.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 
 def emit(title: str, lines: list[str]) -> None:
@@ -16,3 +25,55 @@ def emit(title: str, lines: list[str]) -> None:
     print(f"\n{banner}\n{title}\n{banner}")
     for line in lines:
         print(line)
+
+
+def _stat(bench, name: str):
+    """Best-effort read of one pytest-benchmark statistic."""
+    try:
+        return getattr(bench.stats.stats, name)
+    except Exception:
+        try:
+            return getattr(bench.stats, name)
+        except Exception:
+            return None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this run's per-benchmark medians to BENCH_perf.json."""
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None:
+        return
+    rows = []
+    for bench in getattr(benchmark_session, "benchmarks", []):
+        rows.append(
+            {
+                "name": bench.name,
+                "group": getattr(bench, "group", None),
+                "median_s": _stat(bench, "median"),
+                "mean_s": _stat(bench, "mean"),
+                "rounds": _stat(bench, "rounds"),
+                "extra_info": dict(getattr(bench, "extra_info", {}) or {}),
+            }
+        )
+    if not rows:
+        return  # nothing timed (e.g. --benchmark-disable smoke runs)
+    path = Path(str(session.config.rootpath)) / "BENCH_perf.json"
+    history: list = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text()).get("runs", [])
+        except (ValueError, OSError):
+            history = []
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "exit_status": int(exitstatus),
+            "benchmarks": rows,
+        }
+    )
+    try:
+        path.write_text(
+            json.dumps({"runs": history}, indent=2, default=str) + "\n"
+        )
+    except OSError:
+        pass  # a read-only checkout must not fail the bench run

@@ -1,8 +1,9 @@
 """Setup shim.
 
-Configuration lives in pyproject.toml; this file exists so legacy
-``pip install -e .`` works in environments without the ``wheel`` package
-(pip falls back to ``setup.py develop``).
+Configuration lives in pyproject.toml; this file exists so the legacy
+``python setup.py develop`` route works in stripped-down environments
+without the ``wheel`` package, where pip's PEP 660 editable path
+(``pip install -e .``) cannot build.
 """
 
 from setuptools import setup

@@ -19,8 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 from typing import Callable
 
-from ..exceptions import NetDebugError, P4RuntimeError
-from ..p4.expr import EvalContext, Expr
+from ..exceptions import NetDebugError, P4RuntimeError, ReproError
+from ..p4.expr import EvalContext, Expr, compile_expr
 from ..p4.types import TypeEnv
 from ..packet.packet import Packet
 from ..target.device import NetworkDevice
@@ -71,13 +71,28 @@ class ExprCheck(CheckRule):
         self._expr = expr
         self._env = env
         self._skip_missing = skip_missing
+        # Line-rate path: compile the expression once. Checks over
+        # headers the environment does not describe (a checker may
+        # reference layouts foreign to the loaded program) fall back to
+        # tree-walking evaluation.
+        try:
+            self._compiled = compile_expr(expr, env)
+        except ReproError:
+            self._compiled = None
+
+    def _eval(self, snapshot: PacketSnapshot) -> int:
+        if self._compiled is not None:
+            return self._compiled(snapshot.packet, snapshot.metadata, ())
+        ctx = EvalContext(snapshot.packet, snapshot.metadata)
+        return self._expr.eval(ctx, self._env)
 
     def applies(self, snapshot: PacketSnapshot) -> bool:
         if not self._skip_missing:
             return True
+        if snapshot.packet is None:
+            return True  # check() reports the missing packet
         try:
-            ctx = EvalContext(snapshot.packet, snapshot.metadata)
-            self._expr.eval(ctx, self._env)
+            self._eval(snapshot)
             return True
         except P4RuntimeError:
             return False
@@ -85,9 +100,8 @@ class ExprCheck(CheckRule):
     def check(self, snapshot: PacketSnapshot) -> tuple[bool, str]:
         if snapshot.packet is None:
             return False, "no packet at tap"
-        ctx = EvalContext(snapshot.packet, snapshot.metadata)
         try:
-            value = self._expr.eval(ctx, self._env)
+            value = self._eval(snapshot)
         except P4RuntimeError as exc:
             return False, f"expression error: {exc}"
         if value:

@@ -172,6 +172,26 @@ class PacketGenerator:
             stream = self._streams[stream_id]
         except KeyError:
             raise NetDebugError(f"no stream {stream_id}") from None
+
+        # Bare streams with no per-packet callback take the batched
+        # path: all wires are materialized up front and handed to the
+        # device in one call, amortizing per-packet setup — the shape a
+        # hardware generator has, where the stream program is compiled
+        # once and packets are emitted back to back.
+        if not stream.wrap and on_injected is None:
+            wires = [packet.pack() for packet in stream.materialize()]
+            records = [
+                InjectionRecord(
+                    stream.stream_id, seq_no, wires[seq_no], timestamp,
+                    run=run,
+                )
+                for seq_no, (timestamp, run) in enumerate(
+                    self._device.inject_batch(wires, at=stream.inject_at)
+                )
+            ]
+            self.injected.extend(records)
+            return records
+
         records: list[InjectionRecord] = []
         for seq_no, packet in enumerate(stream.materialize()):
             timestamp = self._device.clock_cycles

@@ -3,7 +3,8 @@
 "Finding limitations in the architecture."
 
 Three probing challenges against the SDNet-like target's published
-:class:`~repro.target.limits.ArchLimits`:
+limits (:data:`repro.target.limits.SDNET_LIMITS`, an
+:class:`~repro.target.limits.ArchLimits`):
 
 1. **parse-depth** — discover the deepest parse chain the target accepts
    by compiling a ladder of programs; confirm the found limit matches

@@ -35,6 +35,7 @@ __all__ = [
     "const",
     "fld",
     "meta",
+    "compile_expr",
 ]
 
 
@@ -375,3 +376,184 @@ def fld(header: str, field: str) -> FieldRef:
 def meta(name: str) -> MetaRef:
     """Shorthand constructor for :class:`MetaRef`."""
     return MetaRef(name)
+
+
+# ----------------------------------------------------------------------
+# Closure compilation (the target fast path)
+# ----------------------------------------------------------------------
+def compile_expr(expr: Expr, env: "TypeEnv", params: tuple[str, ...] = ()):
+    """Compile ``expr`` once into a closure ``f(packet, metadata, args)``.
+
+    Tree-walking ``eval`` re-dispatches on node types and recomputes
+    widths for every packet; the compiled form resolves node types,
+    field widths and truncation masks exactly once, so per-packet cost
+    is a chain of plain Python calls. Semantics match ``eval`` bit for
+    bit, including short-circuit ``&&``/``||`` and the
+    :class:`~repro.exceptions.P4RuntimeError` raised on reads of invalid
+    headers or unset metadata.
+
+    ``params`` names the enclosing action's parameters in positional
+    order; :class:`~repro.p4.actions.Param` nodes compile into indexed
+    reads of the ``args`` tuple. An unknown ``Param`` raises
+    :class:`P4RuntimeError` at compile time, mirroring ``bind_expr``.
+    """
+    from .actions import Param
+
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda packet, metadata, args: value
+
+    if isinstance(expr, Param):
+        name = expr.name
+        try:
+            index = params.index(name)
+        except ValueError:
+            raise P4RuntimeError(
+                f"action parameter {name!r} is unbound"
+            ) from None
+        return lambda packet, metadata, args: args[index]
+
+    if isinstance(expr, FieldRef):
+        header_name = expr.header
+        field_name = expr.field
+        path = expr.path
+        spec = env.headers.get(header_name)
+        if spec is not None and spec.has_field(field_name):
+            # Known layout: read the value dict directly. The KeyError
+            # guard costs nothing on the happy path and keeps a
+            # same-named header with a different layout (checker env vs
+            # device program) inside the ReproError family.
+            def read_field(packet, metadata, args):
+                for header in packet.headers:
+                    if header.name == header_name:
+                        if header.valid:
+                            try:
+                                return header._values[field_name]
+                            except KeyError:
+                                raise P4RuntimeError(
+                                    f"header {header_name!r} has no "
+                                    f"field {field_name!r}"
+                                ) from None
+                        break
+                raise P4RuntimeError(
+                    f"read of field {path!r} on invalid header"
+                )
+
+            return read_field
+
+        # Unknown layout (checker expressions over foreign headers):
+        # fall back to the validating item access.
+        def read_field_checked(packet, metadata, args):
+            header = packet.get_or_none(header_name)
+            if header is None or not header.valid:
+                raise P4RuntimeError(
+                    f"read of field {path!r} on invalid header"
+                )
+            return header[field_name]
+
+        return read_field_checked
+
+    if isinstance(expr, MetaRef):
+        name = expr.name
+
+        def read_meta(packet, metadata, args):
+            try:
+                return metadata[name]
+            except KeyError:
+                raise P4RuntimeError(
+                    f"read of unset metadata field {name!r}"
+                ) from None
+
+        return read_meta
+
+    if isinstance(expr, IsValid):
+        name = expr.header
+
+        def is_valid(packet, metadata, args):
+            for header in packet.headers:
+                if header.name == name and header.valid:
+                    return 1
+            return 0
+
+        return is_valid
+
+    if isinstance(expr, BinOp):
+        op = expr.op
+        lf = compile_expr(expr.left, env, params)
+        rf = compile_expr(expr.right, env, params)
+        if op == "and":
+            return lambda p, m, a: (1 if rf(p, m, a) else 0) if lf(p, m, a) else 0
+        if op == "or":
+            return lambda p, m, a: 1 if lf(p, m, a) else (1 if rf(p, m, a) else 0)
+        if op == "==":
+            return lambda p, m, a: 1 if lf(p, m, a) == rf(p, m, a) else 0
+        if op == "!=":
+            return lambda p, m, a: 1 if lf(p, m, a) != rf(p, m, a) else 0
+        if op == "<":
+            return lambda p, m, a: 1 if lf(p, m, a) < rf(p, m, a) else 0
+        if op == "<=":
+            return lambda p, m, a: 1 if lf(p, m, a) <= rf(p, m, a) else 0
+        if op == ">":
+            return lambda p, m, a: 1 if lf(p, m, a) > rf(p, m, a) else 0
+        if op == ">=":
+            return lambda p, m, a: 1 if lf(p, m, a) >= rf(p, m, a) else 0
+        if op == "&":
+            return lambda p, m, a: lf(p, m, a) & rf(p, m, a)
+        if op == "|":
+            return lambda p, m, a: lf(p, m, a) | rf(p, m, a)
+        if op == "^":
+            return lambda p, m, a: lf(p, m, a) ^ rf(p, m, a)
+        if op == ">>":
+            return lambda p, m, a: lf(p, m, a) >> rf(p, m, a)
+        result_mask = mask(expr.width(env))
+        if op == "+":
+            return lambda p, m, a: (lf(p, m, a) + rf(p, m, a)) & result_mask
+        if op == "-":
+            return lambda p, m, a: (lf(p, m, a) - rf(p, m, a)) & result_mask
+        if op == "*":
+            return lambda p, m, a: (lf(p, m, a) * rf(p, m, a)) & result_mask
+        if op == "<<":
+            return lambda p, m, a: (lf(p, m, a) << rf(p, m, a)) & result_mask
+        raise P4RuntimeError(f"unhandled operator {op!r}")
+
+    if isinstance(expr, UnOp):
+        op = expr.op
+        of = compile_expr(expr.operand, env, params)
+        if op == "!":
+            return lambda p, m, a: 0 if of(p, m, a) else 1
+        operand_mask = mask(expr.operand.width(env))
+        if op == "~":
+            return lambda p, m, a: of(p, m, a) ^ operand_mask
+        if op == "-":
+            return lambda p, m, a: (-of(p, m, a)) & operand_mask
+        raise P4RuntimeError(f"unhandled operator {op!r}")
+
+    if isinstance(expr, Slice):
+        of = compile_expr(expr.operand, env, params)
+        operand_width = expr.operand.width(env)
+        high, low = expr.high, expr.low
+        if not 0 <= low <= high < operand_width:
+            raise P4TypeError(
+                f"slice [{high}:{low}] out of range for a "
+                f"{operand_width}-bit value"
+            )
+        slice_mask = mask(high - low + 1)
+        return lambda p, m, a: (of(p, m, a) >> low) & slice_mask
+
+    if isinstance(expr, Concat):
+        lf = compile_expr(expr.left, env, params)
+        rf = compile_expr(expr.right, env, params)
+        right_width = expr.right.width(env)
+        return lambda p, m, a: (lf(p, m, a) << right_width) | rf(p, m, a)
+
+    if isinstance(expr, Mux):
+        cf = compile_expr(expr.cond, env, params)
+        tf = compile_expr(expr.then, env, params)
+        ef = compile_expr(expr.otherwise, env, params)
+        return lambda p, m, a: tf(p, m, a) if cf(p, m, a) else ef(p, m, a)
+
+    # Unknown node type (extensions): fall back to tree-walking eval.
+    def eval_fallback(packet, metadata, args):
+        return expr.eval(EvalContext(packet, metadata), env)
+
+    return eval_fallback

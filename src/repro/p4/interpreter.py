@@ -57,7 +57,9 @@ __all__ = [
     "RuntimeState",
     "PipelineResult",
     "Interpreter",
+    "ExitPipeline",
     "bind_expr",
+    "stable_hash",
 ]
 
 #: Safety bound on parser steps, to terminate cyclic parser graphs.
@@ -151,8 +153,16 @@ class PipelineResult:
         return self.metadata.get("egress_spec")
 
 
-class _ExitPipeline(Exception):
-    """Internal: raised by the Exit primitive to unwind the controls."""
+class ExitPipeline(Exception):
+    """Raised by the ``Exit`` primitive to unwind the controls.
+
+    Shared by the tree-walking interpreter and the compiled fast path
+    (:mod:`repro.target.fastpath`) so both unwind identically.
+    """
+
+
+#: Backwards-compatible private alias.
+_ExitPipeline = ExitPipeline
 
 
 class _BoundExpr(Expr):

@@ -1,0 +1,75 @@
+"""Simulated hardware targets and their execution engine.
+
+The package splits into the performance-first execution core —
+:mod:`~repro.target.fastpath` (closure compilation),
+:mod:`~repro.target.pipeline` (staged execution, taps, faults) and
+:mod:`~repro.target.device` (ports, stats, management interface) — and
+the two concrete targets: the spec-faithful reference
+(:mod:`~repro.target.reference`) and the SDNet-like backend whose
+datapath silently omits the parser ``reject`` state
+(:mod:`~repro.target.sdnet`), reproducing the paper's §4 case study.
+"""
+
+from .compiler import CompiledProgram, Diagnostic, TargetCompiler
+from .device import FLOOD_PORT, DeviceStats, NetworkDevice, Port
+from .fastpath import FastProgram, compile_program
+from .faults import Fault, FaultInjector, FaultKind
+from .limits import REFERENCE_LIMITS, SDNET_LIMITS, ArchLimits
+from .pipeline import (
+    PacketSnapshot,
+    StagedPipeline,
+    TAP_INPUT,
+    TAP_OUTPUT,
+    TargetRun,
+)
+from .reference import ReferenceCompiler, make_reference_device
+from .resources import (
+    DeviceCapacity,
+    ResourceUsage,
+    SUME_CAPACITY,
+    estimate_parser,
+    estimate_program,
+    estimate_stateful,
+)
+from .sdnet import REJECT_NOT_IMPLEMENTED, SDNetCompiler, make_sdnet_device
+
+__all__ = [
+    # device
+    "NetworkDevice",
+    "Port",
+    "DeviceStats",
+    "FLOOD_PORT",
+    # pipeline
+    "StagedPipeline",
+    "PacketSnapshot",
+    "TargetRun",
+    "TAP_INPUT",
+    "TAP_OUTPUT",
+    # compiler
+    "TargetCompiler",
+    "CompiledProgram",
+    "Diagnostic",
+    # fast path
+    "FastProgram",
+    "compile_program",
+    # targets
+    "ReferenceCompiler",
+    "make_reference_device",
+    "SDNetCompiler",
+    "make_sdnet_device",
+    "REJECT_NOT_IMPLEMENTED",
+    # limits and resources
+    "ArchLimits",
+    "REFERENCE_LIMITS",
+    "SDNET_LIMITS",
+    "ResourceUsage",
+    "DeviceCapacity",
+    "SUME_CAPACITY",
+    "estimate_parser",
+    "estimate_program",
+    "estimate_stateful",
+    # faults
+    "Fault",
+    "FaultKind",
+    "FaultInjector",
+]

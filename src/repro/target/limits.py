@@ -1,0 +1,86 @@
+"""Published architecture limits for the simulated targets.
+
+An :class:`ArchLimits` is the datasheet view of a target: what the
+vendor *claims* the architecture supports — parser depth, table shapes,
+match kinds, clock and bus width. Compilers check programs against these
+limits (:mod:`repro.target.compiler`); the architecture-check use case
+probes whether the published figures match the toolchain's actual
+behaviour.
+
+The SDNet-like limits deliberately *claim* ``reject`` support: the
+datasheet says yes, the generated datapath says nothing and silently
+forwards — exactly the gap the paper's §4 case study uncovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..p4.table import MatchKind
+
+__all__ = ["ArchLimits", "REFERENCE_LIMITS", "SDNET_LIMITS"]
+
+
+@dataclass(frozen=True)
+class ArchLimits:
+    """Published limits of one target architecture."""
+
+    name: str
+    clock_mhz: int = 200
+    bus_bytes: int = 32
+    max_parser_states: int = 64
+    max_parse_depth: int = 32
+    max_tables: int = 64
+    max_table_size: int = 65536
+    max_key_bits: int = 512
+    max_pipeline_depth: int = 32
+    max_actions_per_table: int = 64
+    supports_counters: bool = True
+    supports_registers: bool = True
+    supports_reject: bool = True
+    supported_match_kinds: frozenset = field(
+        default_factory=lambda: frozenset(MatchKind)
+    )
+
+    @property
+    def line_rate_gbps(self) -> float:
+        """Peak datapath rate: one bus word per clock cycle."""
+        return self.clock_mhz * self.bus_bytes * 8 / 1000.0
+
+
+#: The spec-faithful reference target: generous limits, a wide bus, and
+#: every match kind. Its job is to define correct behaviour, not to
+#: model a specific chip.
+REFERENCE_LIMITS = ArchLimits(
+    name="reference",
+    clock_mhz=200,
+    bus_bytes=64,
+    max_parser_states=64,
+    max_parse_depth=32,
+    max_tables=64,
+    max_table_size=65536,
+    max_key_bits=512,
+    max_pipeline_depth=32,
+    max_actions_per_table=64,
+)
+
+#: The SDNet-like NetFPGA SUME target. Tighter in every envelope
+#: dimension, no RANGE matching — and ``supports_reject`` is what the
+#: datasheet *claims*; the generated datapath does not implement it
+#: (:data:`repro.target.sdnet.REJECT_NOT_IMPLEMENTED`).
+SDNET_LIMITS = ArchLimits(
+    name="sdnet-sume",
+    clock_mhz=200,
+    bus_bytes=32,
+    max_parser_states=16,
+    max_parse_depth=12,
+    max_tables=8,
+    max_table_size=4096,
+    max_key_bits=256,
+    max_pipeline_depth=8,
+    max_actions_per_table=16,
+    supports_reject=True,  # the claim the backend silently breaks
+    supported_match_kinds=frozenset(
+        {MatchKind.EXACT, MatchKind.LPM, MatchKind.TERNARY}
+    ),
+)

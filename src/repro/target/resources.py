@@ -1,0 +1,207 @@
+"""FPGA resource model: estimating what a program costs in silicon.
+
+The model is deliberately simple but shape-faithful: ternary matching is
+emulated in LUT-based TCAM and dominates everything else, exact/LPM
+tables live mostly in block RAM, stateful objects consume BRAM only, and
+hash units burn DSP slices. The absolute numbers are synthetic; the
+*relative* shape (Figure-2's resources-quantification use case) is what
+the reproduction asserts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..p4.actions import HashField
+from ..p4.program import P4Program
+from ..p4.table import Table
+
+__all__ = [
+    "ResourceUsage",
+    "DeviceCapacity",
+    "SUME_CAPACITY",
+    "estimate_parser",
+    "estimate_stateful",
+    "estimate_table",
+    "estimate_program",
+]
+
+#: Bits in one 36 Kb block RAM.
+_BRAM_BITS = 36_864
+
+#: Fixed framework cost every loaded program pays: AXI plumbing, packet
+#: buffers, the management interface.
+_BASE_LUTS = 400
+_BASE_FLIPFLOPS = 800
+_BASE_BRAM = 4
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Resource consumption in the four FPGA resource classes."""
+
+    luts: int = 0
+    flipflops: int = 0
+    bram_blocks: int = 0
+    dsp_slices: int = 0
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            self.luts + other.luts,
+            self.flipflops + other.flipflops,
+            self.bram_blocks + other.bram_blocks,
+            self.dsp_slices + other.dsp_slices,
+        )
+
+    def scaled(self, factor: float) -> "ResourceUsage":
+        """Scale every class by ``factor`` (rounded to whole units)."""
+        return ResourceUsage(
+            round(self.luts * factor),
+            round(self.flipflops * factor),
+            round(self.bram_blocks * factor),
+            round(self.dsp_slices * factor),
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "luts": self.luts,
+            "flipflops": self.flipflops,
+            "bram_blocks": self.bram_blocks,
+            "dsp_slices": self.dsp_slices,
+        }
+
+
+@dataclass(frozen=True)
+class DeviceCapacity:
+    """Total resources one device offers."""
+
+    luts: int
+    flipflops: int
+    bram_blocks: int
+    dsp_slices: int
+
+    def utilization(self, usage: ResourceUsage) -> dict[str, float]:
+        """Fractional utilization per resource class."""
+        return {
+            "luts": usage.luts / self.luts,
+            "flipflops": usage.flipflops / self.flipflops,
+            "bram_blocks": usage.bram_blocks / self.bram_blocks,
+            "dsp_slices": usage.dsp_slices / self.dsp_slices,
+        }
+
+    def fits(self, usage: ResourceUsage) -> bool:
+        return (
+            usage.luts <= self.luts
+            and usage.flipflops <= self.flipflops
+            and usage.bram_blocks <= self.bram_blocks
+            and usage.dsp_slices <= self.dsp_slices
+        )
+
+
+#: The NetFPGA SUME's Virtex-7 690T.
+SUME_CAPACITY = DeviceCapacity(
+    luts=433_200,
+    flipflops=866_400,
+    bram_blocks=1_470,
+    dsp_slices=3_600,
+)
+
+
+def estimate_parser(program: P4Program) -> ResourceUsage:
+    """Parser cost: per-state FSM logic plus field-extraction barrel."""
+    parser = program.parser
+    states = max(1, len(parser.states))
+    extract_bits = 0
+    select_keys = 0
+    for state in parser.states.values():
+        for header_name in state.extracts:
+            extract_bits += program.env.header(header_name).bit_width
+        select_keys += len(state.transition.keys)
+        if state.verify is not None:
+            select_keys += 1
+    return ResourceUsage(
+        luts=120 * states + extract_bits // 2 + 40 * select_keys,
+        flipflops=96 * states + extract_bits,
+    )
+
+
+def estimate_stateful(program: P4Program) -> ResourceUsage:
+    """Counters and registers: pure block RAM (64-bit counter cells)."""
+    blocks = 0
+    for decl in program.counters.values():
+        blocks += _ceil_div(decl.size * 64, _BRAM_BITS)
+    for decl in program.registers.values():
+        blocks += _ceil_div(decl.size * decl.width, _BRAM_BITS)
+    return ResourceUsage(bram_blocks=blocks)
+
+
+def estimate_table(table: Table, program: P4Program) -> ResourceUsage:
+    """Match-action table cost by match kind.
+
+    Ternary keys force LUT-based TCAM emulation proportional to
+    ``key_bits × entries``; exact/LPM tables hash/walk block RAM with
+    logic that scales in key width and ``log2(size)``.
+    """
+    env = program.env
+    key_bits = sum(key.expr.width(env) for key in table.keys)
+    data_bits = max(
+        (
+            sum(param.bits for param in action.params)
+            for action in table.actions.values()
+        ),
+        default=0,
+    )
+    depth_bits = max(1, table.size.bit_length())
+    action_luts = 16 * sum(a.alu_cost for a in table.actions.values())
+    if table.is_ternary:
+        match_luts = (key_bits * table.size) // 2
+        bram = 1 + _ceil_div(table.size * max(1, data_bits), _BRAM_BITS)
+    elif table.is_lpm:
+        match_luts = key_bits * 24 + depth_bits * 32
+        bram = 1 + _ceil_div(
+            table.size * (key_bits + max(1, data_bits)), _BRAM_BITS
+        )
+    else:
+        match_luts = key_bits * 12 + depth_bits * 16
+        bram = 1 + _ceil_div(
+            table.size * (key_bits + max(1, data_bits)), _BRAM_BITS
+        )
+    return ResourceUsage(
+        luts=match_luts + action_luts,
+        flipflops=key_bits * 4 + data_bits * 2,
+        bram_blocks=bram,
+    )
+
+
+def _hash_units(program: P4Program) -> int:
+    """Count HashField primitives anywhere in the program."""
+    units = 0
+    for control in (program.ingress, program.egress):
+        actions = list(control.actions.values())
+        for table in control.tables.values():
+            actions.extend(table.actions.values())
+        for action in actions:
+            units += sum(
+                1 for prim in action.body if isinstance(prim, HashField)
+            )
+    return units
+
+
+def estimate_program(program: P4Program) -> ResourceUsage:
+    """Total resources for one program: framework + parser + tables +
+    stateful objects + hash units."""
+    usage = ResourceUsage(_BASE_LUTS, _BASE_FLIPFLOPS, _BASE_BRAM)
+    usage = usage + estimate_parser(program)
+    for table in program.all_tables().values():
+        usage = usage + estimate_table(table, program)
+    for control in (program.ingress, program.egress):
+        usage = usage + ResourceUsage(
+            luts=16 * sum(a.alu_cost for a in control.actions.values())
+        )
+    usage = usage + estimate_stateful(program)
+    usage = usage + ResourceUsage(dsp_slices=4 * _hash_units(program))
+    return usage
