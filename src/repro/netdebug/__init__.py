@@ -1,5 +1,14 @@
 """NetDebug: the programmable validation framework (the paper's system)."""
 
+from .campaign import (
+    CampaignReport,
+    Scenario,
+    ScenarioMatrix,
+    ScenarioResult,
+    record_campaign,
+    replay_campaign,
+    run_campaign,
+)
 from .checker import (
     CheckRule,
     ExpectedOutput,
@@ -62,4 +71,11 @@ __all__ = [
     "is_probe",
     "ProbeInfo",
     "PROBE_MAGIC",
+    "ScenarioMatrix",
+    "Scenario",
+    "ScenarioResult",
+    "CampaignReport",
+    "run_campaign",
+    "record_campaign",
+    "replay_campaign",
 ]

@@ -1,0 +1,725 @@
+"""Parallel validation campaigns: swept scenario matrices over workers.
+
+The paper's workflow is running *many* validation sessions against live
+targets to flush out data-plane bugs like the missing parser ``reject``
+state. A :class:`ScenarioMatrix` declares that workflow as data — the
+cross product of stdlib programs, targets (``reference``/``sdnet``),
+injected hardware fault sets (:mod:`repro.target.faults`) and named
+workloads (:data:`repro.sim.traffic.WORKLOADS`) — and
+:func:`run_campaign` expands it into independent
+:class:`~repro.netdebug.session.ValidationSession` shards executed
+across a :mod:`multiprocessing` worker pool.
+
+Three properties the engine guarantees:
+
+* **Compile once per worker.** Each worker process caches one compiled
+  fast-path artifact per (program, target, setup) key and stamps out a
+  fresh :class:`~repro.target.device.NetworkDevice`
+  (fresh runtime state, stats, clock, fault set) per shard via
+  :meth:`~repro.target.device.NetworkDevice.install`.
+* **Determinism.** Every shard derives all randomness from the matrix
+  seed and the scenario index, and results are ordered by scenario
+  index — the same matrix produces a byte-identical
+  :class:`CampaignReport` (:meth:`CampaignReport.to_json`) whether run
+  serially or on N workers.
+* **Record/replay.** A campaign can be frozen to the existing
+  regression-artifact format — one
+  :class:`~repro.netdebug.regression.RegressionSuite` (pcap +
+  expectation JSON) per scenario plus a manifest — and replayed later
+  on any build with :func:`replay_campaign`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import statistics
+from dataclasses import dataclass, field as dc_field
+from pathlib import Path
+from typing import Callable
+
+from ..exceptions import NetDebugError
+from ..p4.stdlib import PROGRAMS
+from ..p4.program import P4Program
+from ..sim.traffic import WORKLOADS, build_workload, default_flow
+from ..target.compiler import CompiledProgram
+from ..target.device import NetworkDevice
+from ..target.faults import Fault, FaultKind
+from ..target.reference import make_reference_device
+from ..target.sdnet import make_sdnet_device
+from .generator import StreamSpec
+from .regression import RegressionSuite, replay_suite
+from .report import Capability, SessionReport
+from .session import ValidationSession, reference_expectation, run_session
+
+__all__ = [
+    "TARGETS",
+    "PROVISIONERS",
+    "Scenario",
+    "ScenarioMatrix",
+    "ScenarioResult",
+    "CampaignReport",
+    "run_campaign",
+    "record_campaign",
+    "replay_campaign",
+]
+
+#: Device factories a matrix may name in ``targets``.
+TARGETS: dict[str, Callable[[str], NetworkDevice]] = {
+    "reference": make_reference_device,
+    "sdnet": make_sdnet_device,
+}
+
+#: Named control-plane provisioners (table entries etc.), applied ONCE
+#: per cached artifact — entries land on the shared program object, so
+#: provisioning must be install-once/read-many. Register module-level
+#: callables only (workers must be able to pickle scenario references
+#: to them by name).
+PROVISIONERS: dict[str, Callable[[NetworkDevice], None]] = {}
+
+
+# ---------------------------------------------------------------------------
+# Scenario matrix
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-resolved cell of the campaign matrix."""
+
+    index: int
+    program: str
+    target: str
+    fault: str
+    workload: str
+    count: int
+    seed: int
+    setup: str = ""
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable scenario identity."""
+        return (
+            f"{self.program}/{self.target}/{self.fault}/{self.workload}"
+        )
+
+
+@dataclass
+class ScenarioMatrix:
+    """A declarative (program × target × fault × workload) sweep.
+
+    ``faults`` maps a scenario label to the fault set injected for it
+    (``()`` for a fault-free baseline); fault predicates must be
+    picklable (module-level functions or ``None``) for worker pools.
+    ``count`` is packets per scenario; every scenario derives its own
+    seed from ``seed`` and its index, so workloads differ across cells
+    but are reproducible.
+    """
+
+    programs: list[str] = dc_field(default_factory=lambda: ["strict_parser"])
+    targets: list[str] = dc_field(default_factory=lambda: ["reference"])
+    faults: dict[str, tuple[Fault, ...]] = dc_field(
+        default_factory=lambda: {"baseline": ()}
+    )
+    workloads: list[str] = dc_field(default_factory=lambda: ["udp"])
+    count: int = 32
+    seed: int = 0
+    setup: str = ""
+
+    def validate(self) -> None:
+        if not self.programs or not self.targets or not self.workloads \
+                or not self.faults:
+            raise NetDebugError(
+                "scenario matrix needs at least one program, target, "
+                "fault set and workload"
+            )
+        if self.count <= 0:
+            raise NetDebugError("scenario matrix count must be positive")
+        for program in self.programs:
+            if program not in PROGRAMS:
+                known = ", ".join(sorted(PROGRAMS))
+                raise NetDebugError(
+                    f"unknown program {program!r}; stdlib offers: {known}"
+                )
+        for target in self.targets:
+            if target not in TARGETS:
+                known = ", ".join(sorted(TARGETS))
+                raise NetDebugError(
+                    f"unknown target {target!r}; known targets: {known}"
+                )
+        for workload in self.workloads:
+            if workload not in WORKLOADS:
+                known = ", ".join(sorted(WORKLOADS))
+                raise NetDebugError(
+                    f"unknown workload {workload!r}; registry offers: "
+                    f"{known}"
+                )
+        if self.setup and self.setup not in PROVISIONERS:
+            raise NetDebugError(
+                f"unknown setup provisioner {self.setup!r}"
+            )
+
+    def expand(self) -> list[Scenario]:
+        """The full cross product, in deterministic matrix order."""
+        self.validate()
+        scenarios: list[Scenario] = []
+        index = 0
+        for program in self.programs:
+            for target in self.targets:
+                for fault_label in self.faults:
+                    for workload in self.workloads:
+                        scenarios.append(
+                            Scenario(
+                                index=index,
+                                program=program,
+                                target=target,
+                                fault=fault_label,
+                                workload=workload,
+                                count=self.count,
+                                seed=self.seed * 1_000_003 + index,
+                                setup=self.setup,
+                            )
+                        )
+                        index += 1
+        return scenarios
+
+
+# ---------------------------------------------------------------------------
+# Shard execution (runs inside pool workers)
+# ---------------------------------------------------------------------------
+
+#: Per-worker artifact cache: (program, target, setup) -> CompiledProgram.
+#: Populated lazily inside each worker process; a worker compiles each
+#: distinct program/target pair once and reuses the lowered closures for
+#: every shard it executes. The cache is scoped to one campaign run via
+#: an epoch token carried in every job: table entries a setup
+#: provisioner installed live on the shared program object, so reusing
+#: an artifact across campaigns could silently replay a *previous*
+#: campaign's provisioning (and fork-started workers inherit the
+#: parent's cache).
+_ARTIFACTS: dict[tuple[str, str, str], CompiledProgram] = {}
+_ARTIFACT_EPOCH: list[int] = [-1]
+_EPOCH_COUNTER = iter(range(1, 1 << 62))
+
+
+def _build_program(name: str) -> P4Program:
+    return PROGRAMS[name]()  # type: ignore[operator]
+
+
+def _shard_device(
+    epoch: int, program: str, target: str, setup: str
+) -> NetworkDevice:
+    """A fresh device for one shard, reusing the worker's compiled artifact."""
+    if _ARTIFACT_EPOCH[0] != epoch:
+        _ARTIFACTS.clear()
+        _ARTIFACT_EPOCH[0] = epoch
+    key = (program, target, setup)
+    device = TARGETS[target](f"{target}-{program}")
+    compiled = _ARTIFACTS.get(key)
+    if compiled is None:
+        compiled = device.load(_build_program(program))
+        if setup:
+            provisioner = PROVISIONERS.get(setup)
+            if provisioner is None:
+                # Reachable in spawn-started workers: they re-import the
+                # module, so provisioners registered at runtime in the
+                # parent do not exist here. Fail with the cause, not a
+                # bare KeyError deep in the pool.
+                raise NetDebugError(
+                    f"setup provisioner {setup!r} is not registered in "
+                    "this worker process; register provisioners at "
+                    "module import time so spawned workers see them"
+                )
+            provisioner(device)
+        _ARTIFACTS[key] = compiled
+    else:
+        device.install(compiled)
+    return device
+
+
+def _run_shard(job: tuple) -> "ScenarioResult":
+    epoch, scenario, faults, keep_suite = job
+    device = _shard_device(
+        epoch, scenario.program, scenario.target, scenario.setup
+    )
+    for fault in faults:
+        device.injector.inject(fault)
+
+    bundle = build_workload(
+        scenario.workload,
+        default_flow(scenario.index),
+        scenario.count,
+        seed=scenario.seed,
+    )
+    frames = [packet.pack() for packet in bundle.packets]
+    expectations = [
+        reference_expectation(
+            device.program, wire,
+            label=f"{scenario.key}#{i}",
+            num_ports=len(device.ports),
+        )
+        for i, wire in enumerate(frames)
+    ]
+    session = ValidationSession(
+        name=f"campaign/{scenario.index:04d}/{scenario.key}",
+        streams=[
+            StreamSpec(
+                stream_id=scenario.index + 1,
+                packets=list(bundle.packets),
+                fix_checksums=False,
+                # StreamSpec.timestamps is in device-clock cycles; the
+                # workload's arrival process is in nanoseconds.
+                timestamps=(
+                    [
+                        int(t * device.limits.clock_mhz / 1e3)
+                        for t in bundle.times_ns
+                    ]
+                    if bundle.times_ns is not None
+                    else None
+                ),
+            )
+        ],
+        expectations=expectations,
+    )
+    report = run_session(device, session)
+    report.measurements["clock_cycles"] = float(device.clock_cycles)
+    report.measurements["cycles_per_packet"] = (
+        device.clock_cycles / report.injected if report.injected else 0.0
+    )
+    suite = (
+        RegressionSuite(
+            _suite_name(scenario), list(frames), list(expectations)
+        )
+        if keep_suite
+        else None
+    )
+    return ScenarioResult(scenario=scenario, report=report, suite=suite)
+
+
+def _suite_name(scenario: Scenario) -> str:
+    return f"scenario-{scenario.index:04d}"
+
+
+def _replay_shard(job: tuple) -> "ScenarioResult":
+    epoch, scenario, faults, directory = job
+    suite = RegressionSuite.load(directory, _suite_name(scenario))
+    device = _shard_device(
+        epoch, scenario.program, scenario.target, scenario.setup
+    )
+    for fault in faults:
+        device.injector.inject(fault)
+    report = replay_suite(device, suite)
+    report.measurements["clock_cycles"] = float(device.clock_cycles)
+    report.measurements["cycles_per_packet"] = (
+        device.clock_cycles / report.injected if report.injected else 0.0
+    )
+    return ScenarioResult(scenario=scenario, report=report)
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScenarioResult:
+    """One scenario's verdict: the session report plus derived grades."""
+
+    scenario: Scenario
+    report: SessionReport
+    #: Present only while recording (dropped before reports are returned).
+    suite: RegressionSuite | None = None
+
+    @property
+    def passed(self) -> bool:
+        return self.report.passed
+
+    @property
+    def verdict(self) -> str:
+        return "pass" if self.passed else "fail"
+
+    @property
+    def score(self) -> float:
+        """Fraction of injected packets free of findings (0..1)."""
+        injected = self.report.injected
+        if not injected:
+            return 0.0
+        return max(0.0, 1.0 - len(self.report.findings) / injected)
+
+    @property
+    def capability(self) -> Capability:
+        return Capability.from_score(self.score)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": {
+                "index": self.scenario.index,
+                "program": self.scenario.program,
+                "target": self.scenario.target,
+                "fault": self.scenario.fault,
+                "workload": self.scenario.workload,
+                "count": self.scenario.count,
+                "seed": self.scenario.seed,
+                "setup": self.scenario.setup,
+            },
+            "verdict": self.verdict,
+            "score": round(self.score, 6),
+            "capability": self.capability.value,
+            "report": self.report.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        s = data["scenario"]
+        return cls(
+            scenario=Scenario(
+                index=s["index"],
+                program=s["program"],
+                target=s["target"],
+                fault=s["fault"],
+                workload=s["workload"],
+                count=s["count"],
+                seed=s["seed"],
+                setup=s.get("setup", ""),
+            ),
+            report=SessionReport.from_dict(data["report"]),
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one campaign run.
+
+    ``to_json`` is canonical (sorted keys, fixed separators, scenario
+    order): two runs of the same matrix — serial or parallel — produce
+    byte-identical output, which is what the determinism tests and the
+    regression-diff workflow key on.
+    """
+
+    name: str
+    results: list[ScenarioResult] = dc_field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def scenarios(self) -> int:
+        return len(self.results)
+
+    @property
+    def injected(self) -> int:
+        return sum(result.report.injected for result in self.results)
+
+    def failed(self) -> list[ScenarioResult]:
+        return [result for result in self.results if not result.passed]
+
+    def findings_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            for finding in result.report.findings:
+                counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def latency_summary(self) -> dict[str, float]:
+        """Cycle-latency statistics across the whole campaign.
+
+        ``cycles_per_packet_*`` aggregate the per-scenario average
+        pipeline occupancy; ``probe_samples`` counts in-band probe
+        latency measurements (wrapped streams only).
+        """
+        per_packet = sorted(
+            result.report.measurements.get("cycles_per_packet", 0.0)
+            for result in self.results
+        )
+        if not per_packet:
+            return {
+                "cycles_per_packet_mean": 0.0,
+                "cycles_per_packet_p50": 0.0,
+                "cycles_per_packet_p99": 0.0,
+                "probe_samples": 0.0,
+            }
+        p99 = per_packet[min(len(per_packet) - 1,
+                             int(len(per_packet) * 0.99))]
+        return {
+            "cycles_per_packet_mean": statistics.fmean(per_packet),
+            "cycles_per_packet_p50": statistics.median(per_packet),
+            "cycles_per_packet_p99": p99,
+            "probe_samples": float(
+                sum(r.report.latency.count for r in self.results)
+            ),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "scenarios": self.scenarios,
+            "injected": self.injected,
+            "findings_by_kind": self.findings_by_kind(),
+            "latency": {
+                key: round(value, 6)
+                for key, value in self.latency_summary().items()
+            },
+            "results": [
+                result.to_dict()
+                for result in sorted(
+                    self.results, key=lambda r: r.scenario.index
+                )
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-stable JSON rendering."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignReport":
+        return cls(
+            name=data["name"],
+            results=[
+                ScenarioResult.from_dict(r) for r in data["results"]
+            ],
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def summary(self) -> str:
+        """Human-readable campaign table."""
+        lines = [
+            f"Campaign {self.name!r}: {self.scenarios} scenarios, "
+            f"{self.injected} packets, "
+            f"verdict={'PASS' if self.passed else 'FAIL'}",
+        ]
+        for result in sorted(self.results, key=lambda r: r.scenario.index):
+            findings = len(result.report.findings)
+            lines.append(
+                f"  [{result.scenario.index:04d}] "
+                f"{result.scenario.key:<55} {result.verdict.upper():<4} "
+                f"score={result.score:.2f} "
+                f"({result.capability.value}) findings={findings}"
+            )
+        kinds = self.findings_by_kind()
+        if kinds:
+            listing = ", ".join(f"{k}={v}" for k, v in kinds.items())
+            lines.append(f"  findings by kind: {listing}")
+        latency = self.latency_summary()
+        lines.append(
+            "  latency: "
+            f"mean={latency['cycles_per_packet_mean']:.1f} "
+            f"p50={latency['cycles_per_packet_p50']:.1f} "
+            f"p99={latency['cycles_per_packet_p99']:.1f} cycles/pkt"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+def _pool_context():
+    """Fork where available (cheap, inherits the import state); the
+    default start method elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _execute(jobs: list[tuple], shard_fn, workers: int) -> list:
+    if workers <= 1 or len(jobs) <= 1:
+        return [shard_fn(job) for job in jobs]
+    workers = min(workers, len(jobs))
+    with _pool_context().Pool(processes=workers) as pool:
+        # chunksize=1: shards are coarse units already; fine-grained
+        # dispatch keeps long scenarios from serializing behind short
+        # ones. pool.map preserves job order, so determinism is free.
+        return pool.map(shard_fn, jobs, chunksize=1)
+
+
+def run_campaign(
+    matrix: ScenarioMatrix,
+    workers: int = 1,
+    name: str = "campaign",
+    record_dir: str | Path | None = None,
+) -> CampaignReport:
+    """Expand ``matrix`` and execute every scenario shard.
+
+    ``workers`` > 1 runs shards on a process pool (each worker caching
+    one compiled artifact per program/target). With ``record_dir`` set
+    the campaign is also frozen to regression artifacts — one
+    :class:`RegressionSuite` per scenario plus ``<name>.manifest.json``
+    — replayable via :func:`replay_campaign`.
+    """
+    scenarios = matrix.expand()
+    record = record_dir is not None
+    if record:
+        for label, fault_set in matrix.faults.items():
+            for fault in fault_set:
+                if fault.predicate is not None:
+                    raise NetDebugError(
+                        f"fault set {label!r} carries a predicate "
+                        "callable; recorded campaigns must be fully "
+                        "declarative to replay from JSON"
+                    )
+    epoch = next(_EPOCH_COUNTER)
+    jobs = [
+        (epoch, scenario, matrix.faults[scenario.fault], record)
+        for scenario in scenarios
+    ]
+    results = _execute(jobs, _run_shard, workers)
+    results.sort(key=lambda result: result.scenario.index)
+
+    if record:
+        directory = Path(record_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            result.suite.save(directory)
+        _write_manifest(directory, name, matrix, scenarios)
+    for result in results:
+        result.suite = None
+    return CampaignReport(name=name, results=results)
+
+
+# ---------------------------------------------------------------------------
+# Record / replay via the regression-artifact format
+# ---------------------------------------------------------------------------
+
+def _fault_to_dict(fault: Fault) -> dict:
+    return {
+        "kind": fault.kind.value,
+        "stage": fault.stage,
+        "header": fault.header,
+        "field": fault.field,
+        "mask": fault.mask,
+        "port": fault.port,
+        "length": fault.length,
+        "table": fault.table,
+        "counter": fault.counter,
+        "extra_cycles": fault.extra_cycles,
+    }
+
+
+def _fault_from_dict(data: dict) -> Fault:
+    return Fault(
+        kind=FaultKind(data["kind"]),
+        stage=data.get("stage", ""),
+        header=data.get("header"),
+        field=data.get("field"),
+        mask=data.get("mask", 0),
+        port=data.get("port"),
+        length=data.get("length"),
+        table=data.get("table"),
+        counter=data.get("counter"),
+        extra_cycles=data.get("extra_cycles", 0),
+    )
+
+
+def _write_manifest(
+    directory: Path,
+    name: str,
+    matrix: ScenarioMatrix,
+    scenarios: list[Scenario],
+) -> Path:
+    payload = {
+        "name": name,
+        "faults": {
+            label: [_fault_to_dict(f) for f in fault_set]
+            for label, fault_set in matrix.faults.items()
+        },
+        "scenarios": [
+            {
+                "index": s.index,
+                "program": s.program,
+                "target": s.target,
+                "fault": s.fault,
+                "workload": s.workload,
+                "count": s.count,
+                "seed": s.seed,
+                "setup": s.setup,
+                "suite": _suite_name(s),
+            }
+            for s in scenarios
+        ],
+    }
+    path = directory / f"{name}.manifest.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def record_campaign(
+    matrix: ScenarioMatrix,
+    directory: str | Path,
+    workers: int = 1,
+    name: str = "campaign",
+) -> CampaignReport:
+    """Run ``matrix`` and freeze it to replayable regression artifacts."""
+    return run_campaign(
+        matrix, workers=workers, name=name, record_dir=directory
+    )
+
+
+def replay_campaign(
+    directory: str | Path,
+    name: str = "campaign",
+    workers: int = 1,
+) -> CampaignReport:
+    """Replay a recorded campaign from its artifacts on fresh devices.
+
+    Fault sets and scenario assignments come from the manifest; frames
+    and expectations from the per-scenario regression suites (suites
+    with truncated pcap captures are rejected at load).
+    """
+    directory = Path(directory)
+    manifest_path = directory / f"{name}.manifest.json"
+    if not manifest_path.exists():
+        raise NetDebugError(
+            f"no campaign manifest at {manifest_path}"
+        )
+    payload = json.loads(manifest_path.read_text())
+    faults = {
+        label: tuple(_fault_from_dict(f) for f in fault_set)
+        for label, fault_set in payload["faults"].items()
+    }
+    jobs = []
+    for s in payload["scenarios"]:
+        scenario = Scenario(
+            index=s["index"],
+            program=s["program"],
+            target=s["target"],
+            fault=s["fault"],
+            workload=s["workload"],
+            count=s["count"],
+            seed=s["seed"],
+            setup=s.get("setup", ""),
+        )
+        # A hand-edited or version-skewed manifest must fail here with a
+        # clear error, not as a KeyError inside the worker pool.
+        if scenario.program not in PROGRAMS:
+            raise NetDebugError(
+                f"manifest scenario {scenario.index} references unknown "
+                f"program {scenario.program!r}"
+            )
+        if scenario.target not in TARGETS:
+            raise NetDebugError(
+                f"manifest scenario {scenario.index} references unknown "
+                f"target {scenario.target!r}"
+            )
+        if scenario.fault not in faults:
+            raise NetDebugError(
+                f"manifest scenario {scenario.index} references unknown "
+                f"fault set {scenario.fault!r}"
+            )
+        jobs.append((scenario, faults[scenario.fault], str(directory)))
+    epoch = next(_EPOCH_COUNTER)
+    jobs = [(epoch, *job) for job in jobs]
+    results = _execute(jobs, _replay_shard, workers)
+    results.sort(key=lambda result: result.scenario.index)
+    return CampaignReport(name=f"replay-{payload['name']}", results=results)

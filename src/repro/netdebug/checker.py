@@ -23,7 +23,7 @@ from ..exceptions import NetDebugError, P4RuntimeError, ReproError
 from ..p4.expr import EvalContext, Expr, compile_expr
 from ..p4.types import TypeEnv
 from ..packet.packet import Packet
-from ..target.device import NetworkDevice
+from ..target.device import FLOOD_PORT, NetworkDevice
 from ..target.pipeline import PacketSnapshot, TAP_OUTPUT
 from .report import CheckOutcome, Finding, LatencyStats, StreamStats
 from .testpacket import decode_probe
@@ -161,18 +161,56 @@ class ExpectedOutput:
     checked. ``forbid=True`` inverts the expectation: the corresponding
     injected packet must produce *no* output (a drop test) — it is
     matched against an output only to report leakage.
+
+    ``egress_ports`` expresses a *flood* prediction: the packet must be
+    replicated to every listed port. At a pipeline tap the only
+    spec-correct observation is the flood sentinel in ``egress_spec``
+    (a unicast to a member port is a misroute and fails); per-port
+    emission records are validated against :meth:`expand_per_port`'s
+    single-port expectations instead.
     """
 
     wire: bytes | None = None
     fields: dict[str, int] = dc_field(default_factory=dict)
     egress_port: int | None = None
+    egress_ports: tuple[int, ...] | None = None
     forbid: bool = False
     label: str = ""
+
+    def expand_per_port(self) -> list["ExpectedOutput"]:
+        """One single-port expectation per predicted flood output port.
+
+        A non-flood expectation expands to itself; this is the per-port
+        view a port-level capture (one record per emitted copy) is
+        checked against.
+        """
+        if not self.egress_ports:
+            return [self]
+        return [
+            ExpectedOutput(
+                wire=self.wire,
+                fields=dict(self.fields),
+                egress_port=port,
+                forbid=self.forbid,
+                label=f"{self.label}@port{port}" if self.label
+                else f"@port{port}",
+            )
+            for port in self.egress_ports
+        ]
 
     def matches(self, snapshot: PacketSnapshot) -> tuple[bool, str]:
         if self.wire is not None and snapshot.wire != self.wire:
             return False, f"{self.label}: wire bytes differ"
-        if self.egress_port is not None:
+        if self.egress_ports is not None:
+            actual = snapshot.metadata.get("egress_spec")
+            if actual != FLOOD_PORT:
+                return (
+                    False,
+                    f"{self.label}: egress port {actual} is not the flood "
+                    f"sentinel (expected replication to "
+                    f"{sorted(self.egress_ports)})",
+                )
+        elif self.egress_port is not None:
             actual = snapshot.metadata.get("egress_spec")
             if actual != self.egress_port:
                 return (

@@ -50,6 +50,21 @@ class NetDebugController:
         self.reports.append(report)
         return report
 
+    def archive_campaign(self, campaign_report) -> int:
+        """Fold a campaign's per-scenario session reports into this
+        controller's archive, so campaign results flow through the same
+        :meth:`save_reports` / :meth:`all_findings` regression workflow
+        as single sessions. Returns the number of reports archived.
+        """
+        results = getattr(campaign_report, "results", None)
+        if results is None:
+            raise NetDebugError(
+                "archive_campaign expects a CampaignReport"
+            )
+        for result in sorted(results, key=lambda r: r.scenario.index):
+            self.reports.append(result.report)
+        return len(results)
+
     # ------------------------------------------------------------------
     # Status monitoring (periodic internal status information)
     # ------------------------------------------------------------------

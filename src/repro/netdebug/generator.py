@@ -78,6 +78,10 @@ class StreamSpec:
         fix_checksums: Recompute IP/L4 checksums after sweeps/fuzzing.
         packets: Alternative to template+sweeps — an explicit packet
             iterable (takes precedence when set).
+        timestamps: Optional per-packet injection timestamps (one per
+            packet, device-clock units). Workloads with their own
+            arrival process (e.g. poisson) carry it here; packets
+            beyond the list fall back to the device clock.
     """
 
     stream_id: int
@@ -90,6 +94,17 @@ class StreamSpec:
     rate_pps: float = 1e6
     fix_checksums: bool = True
     packets: list[Packet] | None = None
+    timestamps: list[int] | None = None
+
+    def timestamp_at(self, seq_no: int, default: int) -> int:
+        """The injection timestamp for packet ``seq_no``: the stream's
+        own arrival process when it defines one, else ``default`` (the
+        device clock). Both injection paths (session lockstep and
+        generator run_stream) route through this so their fallback
+        semantics cannot diverge."""
+        if self.timestamps is not None and seq_no < len(self.timestamps):
+            return self.timestamps[seq_no]
+        return default
 
     def materialize(self) -> Iterator[Packet]:
         """Produce the stream's packets, applying sweeps and fuzzing."""
@@ -173,12 +188,17 @@ class PacketGenerator:
         except KeyError:
             raise NetDebugError(f"no stream {stream_id}") from None
 
-        # Bare streams with no per-packet callback take the batched
-        # path: all wires are materialized up front and handed to the
-        # device in one call, amortizing per-packet setup — the shape a
-        # hardware generator has, where the stream program is compiled
-        # once and packets are emitted back to back.
-        if not stream.wrap and on_injected is None:
+        # Bare streams with no per-packet callback (and no explicit
+        # arrival process) take the batched path: all wires are
+        # materialized up front and handed to the device in one call,
+        # amortizing per-packet setup — the shape a hardware generator
+        # has, where the stream program is compiled once and packets
+        # are emitted back to back.
+        if (
+            not stream.wrap
+            and on_injected is None
+            and stream.timestamps is None
+        ):
             wires = [packet.pack() for packet in stream.materialize()]
             records = [
                 InjectionRecord(
@@ -194,7 +214,9 @@ class PacketGenerator:
 
         records: list[InjectionRecord] = []
         for seq_no, packet in enumerate(stream.materialize()):
-            timestamp = self._device.clock_cycles
+            timestamp = stream.timestamp_at(
+                seq_no, self._device.clock_cycles
+            )
             if stream.wrap:
                 wire = make_probe(
                     stream.stream_id, seq_no, timestamp=timestamp,

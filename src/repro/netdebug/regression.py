@@ -31,19 +31,53 @@ def _expectation_to_dict(expectation: ExpectedOutput) -> dict:
         "wire": expectation.wire.hex() if expectation.wire is not None else None,
         "fields": dict(expectation.fields),
         "egress_port": expectation.egress_port,
+        "egress_ports": (
+            list(expectation.egress_ports)
+            if expectation.egress_ports is not None
+            else None
+        ),
         "forbid": expectation.forbid,
         "label": expectation.label,
     }
 
 
 def _expectation_from_dict(data: dict) -> ExpectedOutput:
+    egress_ports = data.get("egress_ports")
     return ExpectedOutput(
         wire=bytes.fromhex(data["wire"]) if data["wire"] is not None else None,
         fields={k: int(v) for k, v in data["fields"].items()},
         egress_port=data["egress_port"],
+        egress_ports=(
+            tuple(int(p) for p in egress_ports)
+            if egress_ports is not None
+            else None
+        ),
         forbid=data["forbid"],
         label=data["label"],
     )
+
+
+def _check_expectation(name: str, index: int, e: ExpectedOutput) -> None:
+    """Reject self-contradictory expectations at suite-build time.
+
+    A ``forbid`` expectation asserts the packet produces *no* output;
+    pairing it with content constraints (``wire``/``fields``/an egress
+    port) is contradictory — the replay checker never evaluates those
+    constraints on a drop test, so they would silently pass, which is
+    exactly the false confidence a regression suite must not give.
+    """
+    if e.forbid and (
+        e.fields
+        or e.wire is not None
+        or e.egress_port is not None
+        or e.egress_ports
+    ):
+        raise NetDebugError(
+            f"suite {name!r}: expectation {index} "
+            f"({e.label or 'unlabelled'}) sets forbid=True together with "
+            "output constraints (wire/fields/egress); a drop test cannot "
+            "also constrain the output it forbids"
+        )
 
 
 @dataclass
@@ -60,6 +94,8 @@ class RegressionSuite:
                 f"suite {self.name!r}: {len(self.frames)} frames vs "
                 f"{len(self.expectations)} expectations"
             )
+        for index, expectation in enumerate(self.expectations):
+            _check_expectation(self.name, index, expectation)
 
     # -- persistence -----------------------------------------------------
     def save(self, directory: str | Path) -> tuple[Path, Path]:
@@ -90,12 +126,27 @@ class RegressionSuite:
 
     @classmethod
     def load(cls, directory: str | Path, name: str) -> "RegressionSuite":
-        """Read a suite previously written by :meth:`save`."""
+        """Read a suite previously written by :meth:`save`.
+
+        Truncated captures (records whose ``incl_len`` is short of
+        ``orig_len``) are rejected: replaying a frame prefix as if it
+        were the full frame would diff against expectations recorded
+        for the complete packet and report phantom divergences.
+        """
         directory = Path(directory)
-        frames = [
-            record.data
-            for record in read_pcap(directory / f"{name}.pcap")
+        records = read_pcap(directory / f"{name}.pcap")
+        truncated = [
+            index for index, record in enumerate(records) if record.truncated
         ]
+        if truncated:
+            listing = ", ".join(str(i) for i in truncated[:8])
+            more = "…" if len(truncated) > 8 else ""
+            raise NetDebugError(
+                f"suite {name!r}: pcap records [{listing}{more}] are "
+                "truncated captures (incl_len < orig_len); refusing to "
+                "replay partial frames as full packets"
+            )
+        frames = [record.data for record in records]
         payload = json.loads(
             (directory / f"{name}.expect.json").read_text()
         )
@@ -121,7 +172,10 @@ def record_suite(
     diverges from that spec fails, which is the point.
     """
     expectations = [
-        reference_expectation(device.program, frame, label=f"{name}#{i}")
+        reference_expectation(
+            device.program, frame, label=f"{name}#{i}",
+            num_ports=len(device.ports),
+        )
         for i, frame in enumerate(frames)
     ]
     return RegressionSuite(name, list(frames), expectations)

@@ -133,6 +133,10 @@ class LatencyStats:
         return max(self.samples) if self.samples else 0
 
     def to_microseconds(self, clock_mhz: int) -> dict[str, float]:
+        if clock_mhz <= 0:
+            raise ValueError(
+                f"clock_mhz must be positive, got {clock_mhz!r}"
+            )
         scale = 1.0 / clock_mhz  # cycles -> microseconds
         return {
             "mean_us": self.mean * scale,
@@ -209,9 +213,64 @@ class SessionReport:
                 "p50": self.latency.p50,
                 "p99": self.latency.p99,
                 "max": self.latency.max,
+                "samples": list(self.latency.samples),
             },
             "measurements": dict(self.measurements),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionReport":
+        """Rebuild a report serialized by :meth:`to_dict`.
+
+        The round trip preserves everything :meth:`to_dict` emits;
+        per-stream sequence bookkeeping (``seen``/``last_seq``) is
+        summary-only in the dump and is not reconstructed.
+        """
+        report = cls(
+            session=data["session"],
+            device=data["device"],
+            program=data["program"],
+            injected=data.get("injected", 0),
+            observed=data.get("observed", 0),
+            measurements={
+                k: float(v)
+                for k, v in data.get("measurements", {}).items()
+            },
+        )
+        for c in data.get("checks", []):
+            report.checks.append(
+                CheckOutcome(
+                    rule=c["rule"],
+                    checked=c.get("checked", 0),
+                    passed=c.get("passed", 0),
+                    failed=c.get("failed", 0),
+                    first_failure=c.get("first_failure", ""),
+                )
+            )
+        for f in data.get("findings", []):
+            report.findings.append(
+                Finding(
+                    kind=f["kind"],
+                    message=f.get("message", ""),
+                    stage=f.get("stage", ""),
+                    stream_id=f.get("stream_id"),
+                )
+            )
+        for stream_id, s in data.get("streams", {}).items():
+            sid = int(stream_id)
+            report.streams[sid] = StreamStats(
+                stream_id=sid,
+                sent=s.get("sent", 0),
+                received=s.get("received", 0),
+                lost=s.get("lost", 0),
+                reordered=s.get("reordered", 0),
+                duplicated=s.get("duplicated", 0),
+            )
+        report.latency = LatencyStats(
+            samples=[int(x) for x in data.get("latency", {}).get(
+                "samples", [])]
+        )
+        return report
 
     def summary(self) -> str:
         """Human-readable multi-line report."""

@@ -17,7 +17,7 @@ from typing import Callable
 from ..exceptions import NetDebugError
 from ..p4.interpreter import Interpreter, Verdict
 from ..p4.program import P4Program
-from ..target.device import NetworkDevice
+from ..target.device import FLOOD_PORT, NetworkDevice
 from ..target.pipeline import TAP_OUTPUT
 from .checker import CheckRule, ExpectedOutput, OutputChecker
 from .generator import PacketGenerator, StreamSpec
@@ -28,14 +28,26 @@ __all__ = ["reference_expectation", "ValidationSession", "run_session"]
 
 
 def reference_expectation(
-    program: P4Program, wire: bytes, ingress_port: int = 0, label: str = ""
+    program: P4Program,
+    wire: bytes,
+    ingress_port: int = 0,
+    label: str = "",
+    num_ports: int | None = None,
 ) -> ExpectedOutput:
     """Predict the spec-correct output for ``wire`` on ``program``.
 
     Runs the packet through a spec-faithful interpreter sharing the
     program's installed table entries. A drop/reject prediction becomes a
-    ``forbid`` expectation; a forward prediction pins the exact output
-    bytes and egress port.
+    ``forbid`` expectation; a unicast forward prediction pins the exact
+    output bytes and egress port.
+
+    A *flood* prediction (``egress_spec`` equal to :data:`FLOOD_PORT`)
+    is expanded to the per-port expected outputs — every port except the
+    ingress when ``num_ports`` is given — rather than pinned to the
+    flood sentinel, so port-level captures validate each emitted copy.
+    Raises :class:`NetDebugError` when the oracle run produced no
+    ``egress_spec`` metadata at all (a broken custom interpreter or
+    metadata layout), instead of surfacing a bare ``KeyError``.
     """
     interp = Interpreter(program, honor_reject=True)
     result = interp.process(wire, ingress_port=ingress_port)
@@ -43,9 +55,27 @@ def reference_expectation(
         return ExpectedOutput(
             forbid=True, label=label or f"must-drop ({result.verdict.value})"
         )
+    egress = result.metadata.get("egress_spec")
+    if egress is None:
+        raise NetDebugError(
+            f"reference oracle forwarded a packet on {program.name!r} "
+            "without an egress_spec in its metadata; the oracle cannot "
+            "predict an output port"
+        )
+    if egress == FLOOD_PORT:
+        ports = (
+            tuple(p for p in range(num_ports) if p != ingress_port)
+            if num_ports is not None
+            else ()
+        )
+        return ExpectedOutput(
+            wire=result.packet.pack(),
+            egress_ports=ports,
+            label=label or "reference-flood",
+        )
     return ExpectedOutput(
         wire=result.packet.pack(),
-        egress_port=result.metadata["egress_spec"],
+        egress_port=egress,
         label=label or "reference-output",
     )
 
@@ -104,11 +134,14 @@ def run_session(
         for stream in session.streams:
             sent = 0
             for seq_no, packet in enumerate(stream.materialize()):
+                timestamp = stream.timestamp_at(
+                    seq_no, device.clock_cycles
+                )
                 if stream.wrap:
                     wire = make_probe(
                         stream.stream_id,
                         seq_no,
-                        timestamp=device.clock_cycles,
+                        timestamp=timestamp,
                         inner=packet,
                     ).pack()
                 else:
@@ -129,13 +162,14 @@ def run_session(
                     expectation = reference_expectation(
                         device.program, wire,
                         label=f"s{stream.stream_id}#{seq_no}",
+                        num_ports=len(device.ports),
                     )
 
                 if expectation is not None:
                     checker.arm(expectation)
                 device.inject(
                     wire, at=stream.inject_at,
-                    timestamp=device.clock_cycles,
+                    timestamp=timestamp,
                 )
                 if expectation is not None:
                     checker.disarm()

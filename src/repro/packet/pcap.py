@@ -9,7 +9,7 @@ accepted on read.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..exceptions import PacketError
@@ -24,10 +24,19 @@ _LINKTYPE_ETHERNET = 1
 
 @dataclass(frozen=True)
 class PcapRecord:
-    """One captured frame: wire bytes plus a microsecond timestamp."""
+    """One captured frame: wire bytes plus a microsecond timestamp.
+
+    ``orig_len`` is the on-wire frame length the capture reported
+    (pcap's ``orig_len`` field). When it exceeds ``len(data)`` the
+    capture stored only a prefix of the frame (a snaplen-truncated
+    record); :attr:`truncated` exposes that. It is excluded from
+    equality so records written without it compare equal after a
+    read-back fills it in.
+    """
 
     data: bytes
     timestamp_us: int = 0
+    orig_len: int | None = field(default=None, compare=False)
 
     @property
     def ts_sec(self) -> int:
@@ -36,6 +45,11 @@ class PcapRecord:
     @property
     def ts_usec(self) -> int:
         return self.timestamp_us % 1_000_000
+
+    @property
+    def truncated(self) -> bool:
+        """True when the capture holds fewer bytes than were on the wire."""
+        return self.orig_len is not None and self.orig_len > len(self.data)
 
 
 def write_pcap(path: str | Path, records: list[PcapRecord | bytes]) -> None:
@@ -54,7 +68,9 @@ def write_pcap(path: str | Path, records: list[PcapRecord | bytes]) -> None:
                     record.ts_sec,
                     record.ts_usec,
                     len(record.data),
-                    len(record.data),
+                    record.orig_len
+                    if record.orig_len is not None
+                    else len(record.data),
                 )
             )
             fh.write(record.data)
@@ -78,7 +94,7 @@ def read_pcap(path: str | Path) -> list[PcapRecord]:
     while offset < len(raw):
         if offset + record_header.size > len(raw):
             raise PacketError(f"{path}: truncated pcap record header")
-        ts_sec, ts_usec, incl_len, _orig_len = record_header.unpack_from(
+        ts_sec, ts_usec, incl_len, orig_len = record_header.unpack_from(
             raw, offset
         )
         offset += record_header.size
@@ -86,7 +102,8 @@ def read_pcap(path: str | Path) -> list[PcapRecord]:
             raise PacketError(f"{path}: truncated pcap record body")
         records.append(
             PcapRecord(raw[offset : offset + incl_len],
-                       ts_sec * 1_000_000 + ts_usec)
+                       ts_sec * 1_000_000 + ts_usec,
+                       orig_len=orig_len)
         )
         offset += incl_len
     return records

@@ -5,6 +5,9 @@ from .network import Host, Network, ReceivedFrame
 from .traffic import (
     FlowSpec,
     IMIX_DISTRIBUTION,
+    WORKLOADS,
+    WorkloadBundle,
+    build_workload,
     constant_rate_times,
     default_flow,
     imix_stream,
@@ -29,4 +32,7 @@ __all__ = [
     "malformed_mix",
     "pad_to_size",
     "default_flow",
+    "WorkloadBundle",
+    "WORKLOADS",
+    "build_workload",
 ]

@@ -7,10 +7,12 @@ adversarial mixes containing malformed packets (the reject-state workload).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
+from ..exceptions import SimulationError
 from ..packet.builder import ethernet_frame, udp_packet
 from ..packet.headers import ipv4, mac
 from ..packet.packet import Packet
@@ -23,7 +25,19 @@ __all__ = [
     "imix_stream",
     "malformed_mix",
     "pad_to_size",
+    "WorkloadBundle",
+    "WORKLOADS",
+    "build_workload",
 ]
+
+
+def _check_rate(rate_pps: float, who: str) -> None:
+    """Reject rates that would produce divide-by-zero or bogus gaps."""
+    if not math.isfinite(rate_pps) or rate_pps <= 0:
+        raise SimulationError(
+            f"{who}: rate_pps must be a positive finite packet rate, "
+            f"got {rate_pps!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -59,21 +73,39 @@ def pad_to_size(packet: Packet, wire_size: int) -> Packet:
 
 
 def constant_rate_times(rate_pps: float, count: int) -> Iterator[float]:
-    """Arrival times (ns) for ``count`` packets at a constant rate."""
+    """Arrival times (ns) for ``count`` packets at a constant rate.
+
+    Raises :class:`SimulationError` (eagerly, not at first iteration)
+    when ``rate_pps`` is zero, negative, or non-finite.
+    """
+    _check_rate(rate_pps, "constant_rate_times")
     gap = 1e9 / rate_pps
-    for index in range(count):
-        yield index * gap
+
+    def times() -> Iterator[float]:
+        for index in range(count):
+            yield index * gap
+
+    return times()
 
 
 def poisson_times(
     rate_pps: float, count: int, seed: int = 0
 ) -> Iterator[float]:
-    """Poisson arrival times (ns) with mean ``rate_pps``."""
+    """Poisson arrival times (ns) with mean ``rate_pps``.
+
+    Raises :class:`SimulationError` (eagerly, not at first iteration)
+    when ``rate_pps`` is zero, negative, or non-finite.
+    """
+    _check_rate(rate_pps, "poisson_times")
     rng = random.Random(seed)
-    time = 0.0
-    for _ in range(count):
-        time += rng.expovariate(rate_pps) * 1e9
-        yield time
+
+    def times() -> Iterator[float]:
+        time = 0.0
+        for _ in range(count):
+            time += rng.expovariate(rate_pps) * 1e9
+            yield time
+
+    return times()
 
 
 def udp_stream(
@@ -172,3 +204,99 @@ def default_flow(index: int = 0) -> FlowSpec:
         src_port=1024 + index,
         dst_port=5000 + index,
     )
+
+
+# ---------------------------------------------------------------------------
+# The workload registry
+# ---------------------------------------------------------------------------
+# Campaigns and suites sweep workloads *by name*; each entry materializes
+# one named packet mix for a (flow, count, seed) triple. Entries return a
+# WorkloadBundle so timed workloads (poisson) can carry their arrival
+# process alongside the packets.
+
+@dataclass(frozen=True)
+class WorkloadBundle:
+    """One materialized workload: packets, plus arrival times when the
+    workload defines its own arrival process (ns, monotonically
+    increasing; ``None`` means back-to-back / constant-rate)."""
+
+    name: str
+    packets: tuple[Packet, ...]
+    times_ns: tuple[float, ...] | None = None
+
+
+def _udp_workload(
+    flow: FlowSpec, count: int, seed: int, rate_pps: float
+) -> WorkloadBundle:
+    return WorkloadBundle(
+        "udp", tuple(udp_stream(flow, count, size=128, seed=seed))
+    )
+
+
+def _imix_workload(
+    flow: FlowSpec, count: int, seed: int, rate_pps: float
+) -> WorkloadBundle:
+    return WorkloadBundle("imix", tuple(imix_stream(flow, count, seed=seed)))
+
+
+def _poisson_workload(
+    flow: FlowSpec, count: int, seed: int, rate_pps: float
+) -> WorkloadBundle:
+    return WorkloadBundle(
+        "poisson",
+        tuple(udp_stream(flow, count, size=128, seed=seed)),
+        times_ns=tuple(poisson_times(rate_pps, count, seed=seed)),
+    )
+
+
+def _malformed_workload(
+    flow: FlowSpec, count: int, seed: int, rate_pps: float
+) -> WorkloadBundle:
+    # Deterministic 50/50 interleave (malformed first) rather than a
+    # Bernoulli draw: a short campaign cell must still exercise the
+    # reject path, and an unlucky seed can put zero malformed packets
+    # in a small Bernoulli mix.
+    bad = malformed_mix(flow, count, 1.0, seed=seed)
+    good = malformed_mix(flow, count, 0.0, seed=seed)
+    return WorkloadBundle(
+        "malformed",
+        tuple(
+            next(bad if index % 2 == 0 else good)[0]
+            for index in range(count)
+        ),
+    )
+
+
+#: Named workload generators, keyed by the names scenario matrices use.
+WORKLOADS: dict[
+    str, Callable[[FlowSpec, int, int, float], WorkloadBundle]
+] = {
+    "udp": _udp_workload,
+    "imix": _imix_workload,
+    "poisson": _poisson_workload,
+    "malformed": _malformed_workload,
+}
+
+
+def build_workload(
+    name: str,
+    flow: FlowSpec,
+    count: int,
+    seed: int = 0,
+    rate_pps: float = 1e6,
+) -> WorkloadBundle:
+    """Materialize the named workload deterministically.
+
+    Raises :class:`SimulationError` for unknown workload names; the
+    message lists what the registry does offer.
+    """
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise SimulationError(
+            f"unknown workload {name!r}; registry offers: {known}"
+        ) from None
+    if count < 0:
+        raise SimulationError(f"workload {name!r}: count must be >= 0")
+    return factory(flow, count, seed, rate_pps)

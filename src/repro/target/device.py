@@ -97,7 +97,27 @@ class NetworkDevice:
     # ------------------------------------------------------------------
     def load(self, program: P4Program) -> CompiledProgram:
         """Compile ``program`` for this target and install it."""
-        compiled = self.compiler.compile(program)
+        return self.install(self.compiler.compile(program))
+
+    def install(self, compiled: CompiledProgram) -> CompiledProgram:
+        """Install an already-compiled artifact, skipping compilation.
+
+        The artifact itself is stateless — fast-path closures read all
+        mutable state (counters, registers, metadata) from per-run
+        structures — so one :class:`CompiledProgram` can back many
+        devices. This is the campaign worker path: each worker compiles
+        a program once and stamps out a fresh device (fresh runtime
+        state, stats, clock, fault set) per shard. Note the *program*
+        object (and its installed table entries) is shared by every
+        device installing the same artifact.
+        """
+        if compiled.target_name != self.limits.name:
+            raise TargetError(
+                f"artifact compiled for target {compiled.target_name!r} "
+                f"cannot be installed on {self.limits.name!r} device "
+                f"{self.name!r}"
+            )
+        program = compiled.program
         state = RuntimeState.for_program(program)
         self._compiled = compiled
         self._state = state

@@ -1,0 +1,287 @@
+"""Campaign engine tests: matrix expansion, parallel determinism,
+fault/workload sweeps, record/replay, controller integration."""
+
+import json
+
+import pytest
+
+from repro.exceptions import NetDebugError, TargetError
+from repro.netdebug.campaign import (
+    CampaignReport,
+    PROVISIONERS,
+    Scenario,
+    ScenarioMatrix,
+    ScenarioResult,
+    record_campaign,
+    replay_campaign,
+    run_campaign,
+)
+from repro.netdebug.controller import NetDebugController
+from repro.netdebug.report import Capability
+from repro.p4.stdlib import ipv4_router, strict_parser
+from repro.target.faults import Fault, FaultKind
+from repro.target.reference import ReferenceCompiler, make_reference_device
+from repro.target.sdnet import make_sdnet_device
+
+
+def tiny_matrix(**overrides) -> ScenarioMatrix:
+    base = dict(
+        programs=["strict_parser"],
+        targets=["reference"],
+        faults={"baseline": ()},
+        workloads=["udp"],
+        count=4,
+        seed=3,
+    )
+    base.update(overrides)
+    return ScenarioMatrix(**base)
+
+
+class TestMatrix:
+    def test_expand_is_full_cross_product_in_order(self):
+        matrix = tiny_matrix(
+            programs=["strict_parser", "l2_switch"],
+            targets=["reference", "sdnet"],
+            faults={"baseline": (), "bh": (Fault(FaultKind.BLACKHOLE),)},
+            workloads=["udp", "imix"],
+        )
+        scenarios = matrix.expand()
+        assert len(scenarios) == 2 * 2 * 2 * 2
+        assert [s.index for s in scenarios] == list(range(16))
+        # program varies slowest, workload fastest
+        assert scenarios[0].key == "strict_parser/reference/baseline/udp"
+        assert scenarios[1].key == "strict_parser/reference/baseline/imix"
+        assert scenarios[-1].key == "l2_switch/sdnet/bh/imix"
+
+    def test_scenario_seeds_differ_but_derive_from_matrix_seed(self):
+        seeds_a = [s.seed for s in tiny_matrix(
+            workloads=["udp", "imix"]).expand()]
+        seeds_b = [s.seed for s in tiny_matrix(
+            workloads=["udp", "imix"]).expand()]
+        assert seeds_a == seeds_b
+        assert len(set(seeds_a)) == len(seeds_a)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"programs": ["no_such_program"]},
+            {"targets": ["tofino"]},
+            {"workloads": ["voip"]},
+            {"programs": []},
+            {"count": 0},
+            {"setup": "no_such_setup"},
+        ],
+    )
+    def test_invalid_matrix_rejected(self, overrides):
+        with pytest.raises(NetDebugError):
+            tiny_matrix(**overrides).expand()
+
+
+class TestRunCampaign:
+    def test_baseline_reference_campaign_passes(self):
+        report = run_campaign(tiny_matrix(), name="ok")
+        assert report.passed
+        assert report.scenarios == 1
+        assert report.injected == 4
+        result = report.results[0]
+        assert result.verdict == "pass"
+        assert result.capability is Capability.FULL
+        assert result.report.measurements["cycles_per_packet"] > 0
+
+    def test_sdnet_malformed_scenario_exposes_reject_bug(self):
+        matrix = tiny_matrix(
+            targets=["reference", "sdnet"],
+            workloads=["udp", "malformed"],
+            count=12,
+        )
+        report = run_campaign(matrix, name="reject")
+        by_key = {r.scenario.key: r for r in report.results}
+        assert by_key["strict_parser/reference/baseline/malformed"].passed
+        deviant = by_key["strict_parser/sdnet/baseline/malformed"]
+        assert not deviant.passed
+        assert deviant.report.findings_of("unexpected_output")
+
+    def test_fault_scenarios_fail_and_baselines_pass(self):
+        matrix = tiny_matrix(
+            faults={
+                "baseline": (),
+                "blackhole": (
+                    Fault(FaultKind.BLACKHOLE, stage="ingress.0"),
+                ),
+            },
+        )
+        report = run_campaign(matrix, name="faulted")
+        by_fault = {r.scenario.fault: r for r in report.results}
+        assert by_fault["baseline"].passed
+        assert not by_fault["blackhole"].passed
+        assert by_fault["blackhole"].report.findings_of("missing_output")
+
+    def test_poisson_workload_runs(self):
+        report = run_campaign(tiny_matrix(workloads=["poisson"]))
+        assert report.passed
+
+    def test_flood_program_campaign_passes(self):
+        # l2_switch's default action floods; the expanded flood oracle
+        # must validate it rather than fail on the sentinel port.
+        report = run_campaign(tiny_matrix(programs=["l2_switch"]))
+        assert report.passed
+
+    def test_setup_provisioner_applied_once_and_used(self):
+        def routes(device):
+            from repro.packet.headers import ipv4, mac
+
+            device.control_plane.table_add(
+                "ipv4_lpm", "route", [(ipv4("10.0.0.0"), 8)],
+                [mac("aa:bb:cc:dd:ee:01"), 2],
+            )
+
+        PROVISIONERS["test-routes"] = routes
+        try:
+            matrix = tiny_matrix(
+                programs=["ipv4_router"], setup="test-routes", count=3
+            )
+            report = run_campaign(matrix, name="provisioned")
+            assert report.passed
+        finally:
+            del PROVISIONERS["test-routes"]
+
+
+class TestDeterminism:
+    def test_one_vs_n_workers_byte_identical(self):
+        matrix = tiny_matrix(
+            programs=["strict_parser", "l2_switch"],
+            targets=["reference", "sdnet"],
+            faults={
+                "baseline": (),
+                "bh": (Fault(FaultKind.BLACKHOLE, stage="ingress.0"),),
+            },
+            workloads=["udp", "malformed"],
+            count=5,
+            seed=11,
+        )
+        serial = run_campaign(matrix, workers=1, name="det")
+        parallel = run_campaign(matrix, workers=2, name="det")
+        assert serial.to_json() == parallel.to_json()
+
+    def test_repeated_runs_identical(self):
+        matrix = tiny_matrix(workloads=["udp", "imix", "poisson"])
+        assert (
+            run_campaign(matrix, name="r").to_json()
+            == run_campaign(matrix, name="r").to_json()
+        )
+
+
+class TestRecordReplay:
+    def test_record_then_replay_reproduces_verdicts(self, tmp_path):
+        matrix = tiny_matrix(
+            targets=["reference", "sdnet"],
+            workloads=["udp", "malformed"],
+            count=8,
+        )
+        recorded = record_campaign(matrix, tmp_path, name="gold")
+        assert (tmp_path / "gold.manifest.json").exists()
+        assert (tmp_path / "scenario-0000.pcap").exists()
+        assert (tmp_path / "scenario-0000.expect.json").exists()
+
+        replayed = replay_campaign(tmp_path, name="gold", workers=2)
+        assert replayed.scenarios == recorded.scenarios
+        assert [r.verdict for r in replayed.results] == [
+            r.verdict for r in recorded.results
+        ]
+
+    def test_replay_with_faults_reproduces_failures(self, tmp_path):
+        matrix = tiny_matrix(
+            faults={
+                "baseline": (),
+                "bh": (Fault(FaultKind.BLACKHOLE, stage="ingress.0"),),
+            },
+        )
+        recorded = record_campaign(matrix, tmp_path, name="faulty")
+        replayed = replay_campaign(tmp_path, name="faulty")
+        assert [r.verdict for r in replayed.results] == [
+            r.verdict for r in recorded.results
+        ]
+        assert not replayed.passed
+
+    def test_predicate_faults_cannot_be_recorded(self, tmp_path):
+        matrix = tiny_matrix(
+            faults={
+                "picky": (
+                    Fault(
+                        FaultKind.BLACKHOLE,
+                        stage="ingress.0",
+                        predicate=lambda packet: True,
+                    ),
+                ),
+            },
+        )
+        with pytest.raises(NetDebugError):
+            record_campaign(matrix, tmp_path, name="nope")
+
+    def test_truncated_artifact_refuses_replay(self, tmp_path):
+        import struct
+
+        record_campaign(tiny_matrix(), tmp_path, name="trunc")
+        pcap = tmp_path / "scenario-0000.pcap"
+        raw = bytearray(pcap.read_bytes())
+        # Claim the first record was longer on the wire than captured.
+        incl_len = struct.unpack_from("<I", raw, 24 + 8)[0]
+        struct.pack_into("<I", raw, 24 + 12, incl_len + 100)
+        pcap.write_bytes(bytes(raw))
+        with pytest.raises(NetDebugError, match="truncated"):
+            replay_campaign(tmp_path, name="trunc")
+
+    def test_replay_without_manifest_rejected(self, tmp_path):
+        with pytest.raises(NetDebugError):
+            replay_campaign(tmp_path, name="missing")
+
+
+class TestCampaignReport:
+    def test_json_round_trip(self, tmp_path):
+        report = run_campaign(tiny_matrix(workloads=["udp", "malformed"]))
+        path = report.save(tmp_path / "campaign.json")
+        loaded = CampaignReport.load(path)
+        assert loaded.to_json() == report.to_json()
+
+    def test_summary_and_aggregates(self):
+        matrix = tiny_matrix(
+            targets=["reference", "sdnet"], workloads=["malformed"],
+            count=10,
+        )
+        report = run_campaign(matrix, name="agg")
+        text = report.summary()
+        assert "agg" in text and "FAIL" in text
+        assert report.findings_by_kind().get("unexpected_output")
+        assert report.latency_summary()["cycles_per_packet_mean"] > 0
+        assert len(report.failed()) == 1
+
+    def test_controller_archives_campaign(self):
+        device = make_reference_device("camp-ctl")
+        device.load(strict_parser())
+        controller = NetDebugController(device)
+        report = run_campaign(tiny_matrix(workloads=["udp", "imix"]))
+        archived = controller.archive_campaign(report)
+        assert archived == 2
+        assert len(controller.reports) == 2
+        with pytest.raises(NetDebugError):
+            controller.archive_campaign(object())
+
+
+class TestInstall:
+    def test_install_reuses_artifact_on_fresh_device(self):
+        first = make_reference_device("inst-a")
+        compiled = first.load(strict_parser())
+        second = make_reference_device("inst-b")
+        second.install(compiled)
+        wire = b"\x00" * 64
+        assert second.stats.processed == 0
+        second.inject(wire)
+        assert second.stats.processed == 1
+        assert first.stats.processed == 0  # state is per device
+
+    def test_install_rejects_cross_target_artifact(self):
+        reference = make_reference_device("inst-ref")
+        compiled = reference.load(strict_parser())
+        sdnet = make_sdnet_device("inst-sd")
+        with pytest.raises(TargetError):
+            sdnet.install(compiled)

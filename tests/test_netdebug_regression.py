@@ -116,3 +116,104 @@ class TestPersistence:
         record_suite(device, frames, name="fmt").save(tmp_path)
         records = read_pcap(tmp_path / "fmt.pcap")
         assert [r.data for r in records] == frames
+
+
+class TestContradictoryExpectations:
+    """forbid=True plus output constraints is self-contradictory and
+    must be rejected when a suite is built or loaded."""
+
+    def test_forbid_with_fields_rejected(self):
+        with pytest.raises(NetDebugError, match="forbid"):
+            RegressionSuite(
+                "bad-fields", [b"x"],
+                [ExpectedOutput(forbid=True, fields={"ipv4.ttl": 63})],
+            )
+
+    def test_forbid_with_wire_rejected(self):
+        with pytest.raises(NetDebugError, match="forbid"):
+            RegressionSuite(
+                "bad-wire", [b"x"],
+                [ExpectedOutput(forbid=True, wire=b"x")],
+            )
+
+    def test_forbid_with_egress_rejected(self):
+        with pytest.raises(NetDebugError, match="forbid"):
+            RegressionSuite(
+                "bad-port", [b"x"],
+                [ExpectedOutput(forbid=True, egress_port=1)],
+            )
+
+    def test_contradictory_artifact_rejected_on_load(self, tmp_path):
+        """A hand-edited artifact with a contradictory expectation must
+        not load."""
+        import json
+
+        device = loaded(make_reference_device, "con0")
+        frames = [
+            packet.pack()
+            for packet, _ in malformed_mix(default_flow(), 4, 0.0, seed=1)
+        ]
+        record_suite(device, frames, name="edited").save(tmp_path)
+        json_path = tmp_path / "edited.expect.json"
+        payload = json.loads(json_path.read_text())
+        payload["expectations"][0]["forbid"] = True
+        json_path.write_text(json.dumps(payload))
+        with pytest.raises(NetDebugError, match="forbid"):
+            RegressionSuite.load(tmp_path, "edited")
+
+    def test_plain_forbid_still_fine(self):
+        suite = RegressionSuite(
+            "ok", [b"x"], [ExpectedOutput(forbid=True, label="drop")]
+        )
+        assert suite.expectations[0].forbid
+
+
+class TestTruncatedPcapReplay:
+    def test_truncated_record_refuses_load(self, tmp_path):
+        import struct
+
+        device = loaded(make_reference_device, "tr0")
+        frames = [
+            packet.pack()
+            for packet, _ in malformed_mix(default_flow(), 3, 0.0, seed=2)
+        ]
+        record_suite(device, frames, name="cut").save(tmp_path)
+        pcap_path = tmp_path / "cut.pcap"
+        raw = bytearray(pcap_path.read_bytes())
+        # Inflate the first record's orig_len past its incl_len.
+        incl_len = struct.unpack_from("<I", raw, 24 + 8)[0]
+        struct.pack_into("<I", raw, 24 + 12, incl_len + 42)
+        pcap_path.write_bytes(bytes(raw))
+        with pytest.raises(NetDebugError, match="truncated"):
+            RegressionSuite.load(tmp_path, "cut")
+
+    def test_intact_suite_still_loads(self, tmp_path):
+        device = loaded(make_reference_device, "tr1")
+        frames = [
+            packet.pack()
+            for packet, _ in malformed_mix(default_flow(), 3, 0.5, seed=3)
+        ]
+        record_suite(device, frames, name="whole").save(tmp_path)
+        suite = RegressionSuite.load(tmp_path, "whole")
+        assert suite.frames == frames
+
+
+class TestFloodExpectationRoundTrip:
+    def test_egress_ports_survive_save_load(self, tmp_path):
+        """Flood (l2_switch broadcast) expectations keep their per-port
+        expansion through the artifact format."""
+        from repro.p4.stdlib import l2_switch
+        from repro.packet.builder import udp_packet
+
+        device = make_reference_device("flood-rt")
+        device.load(l2_switch())
+        frames = [
+            udp_packet(ipv4("10.1.0.1"), ipv4("10.0.0.1"), 5000, 1024).pack()
+        ]
+        suite = record_suite(device, frames, name="flood")
+        assert suite.expectations[0].egress_ports == tuple(range(1, 8))
+        suite.save(tmp_path)
+        loaded_suite = RegressionSuite.load(tmp_path, "flood")
+        assert loaded_suite.expectations == suite.expectations
+        report = replay_suite(device, loaded_suite)
+        assert report.passed

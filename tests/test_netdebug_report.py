@@ -142,3 +142,53 @@ class TestSessionReport:
     def test_check_outcome_ok(self):
         assert CheckOutcome("x", checked=5, passed=5).ok
         assert not CheckOutcome("x", checked=5, failed=1).ok
+
+
+class TestToMicrosecondsGuard:
+    def test_zero_or_negative_clock_rejected(self):
+        stats = LatencyStats(samples=[10, 20])
+        with pytest.raises(ValueError):
+            stats.to_microseconds(0)
+        with pytest.raises(ValueError):
+            stats.to_microseconds(-200)
+
+    def test_empty_stats_convert_to_zeros(self):
+        values = LatencyStats().to_microseconds(200)
+        assert set(values.values()) == {0.0}
+
+
+class TestSessionReportRoundTrip:
+    def _report(self):
+        report = SessionReport(session="rt", device="dev0", program="p4")
+        report.checks.append(
+            CheckOutcome(rule="r1", checked=5, passed=4, failed=1,
+                         first_failure="boom")
+        )
+        report.findings.append(
+            Finding("check_failed", "r1: boom", stage="output", stream_id=2)
+        )
+        stats = StreamStats(stream_id=2, sent=5)
+        for seq in range(4):
+            stats.record_rx(seq)
+        stats.finalize()
+        report.streams[2] = stats
+        for cycles in (11, 13, 17):
+            report.latency.record(cycles)
+        report.injected = 5
+        report.observed = 4
+        report.measurements["cycles_per_packet"] = 21.5
+        return report
+
+    def test_from_dict_inverts_to_dict(self):
+        report = self._report()
+        rebuilt = SessionReport.from_dict(report.to_dict())
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.passed == report.passed
+        assert rebuilt.latency.samples == [11, 13, 17]
+        assert rebuilt.streams[2].lost == 1
+
+    def test_empty_report_round_trips(self):
+        report = SessionReport(session="empty", device="d", program="p")
+        rebuilt = SessionReport.from_dict(report.to_dict())
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.latency.mean == 0.0

@@ -64,6 +64,50 @@ class TestReferenceExpectation:
         assert expectation.forbid
         assert "parser_rejected" in expectation.label
 
+    def test_flood_prediction_expands_per_port(self):
+        from repro.p4.stdlib import l2_switch
+
+        program = l2_switch()  # default action floods (0x1FF)
+        wire = routed_packets(1)[0].pack()
+        expectation = reference_expectation(
+            program, wire, ingress_port=0, num_ports=4
+        )
+        assert not expectation.forbid
+        assert expectation.egress_port is None
+        assert expectation.egress_ports == (1, 2, 3)  # ingress excluded
+        per_port = expectation.expand_per_port()
+        assert [e.egress_port for e in per_port] == [1, 2, 3]
+        assert all(e.wire == expectation.wire for e in per_port)
+
+    def test_flood_prediction_without_port_count(self):
+        from repro.p4.stdlib import l2_switch
+
+        expectation = reference_expectation(
+            l2_switch(), routed_packets(1)[0].pack()
+        )
+        assert expectation.egress_ports == ()
+        assert expectation.expand_per_port() == [expectation]
+
+    def test_missing_egress_spec_is_clear_error(self, monkeypatch):
+        """A forward prediction without egress_spec metadata must raise
+        NetDebugError, not a bare KeyError."""
+        import repro.netdebug.session as session_module
+
+        real_process = session_module.Interpreter.process
+
+        def stripped(self, wire, ingress_port=0):
+            result = real_process(self, wire, ingress_port=ingress_port)
+            result.metadata.pop("egress_spec", None)
+            return result
+
+        monkeypatch.setattr(
+            session_module.Interpreter, "process", stripped
+        )
+        device = routed_device(name="ses-noegress")
+        wire = routed_packets(1)[0].pack()
+        with pytest.raises(NetDebugError, match="egress_spec"):
+            reference_expectation(device.program, wire)
+
 
 class TestRunSession:
     def test_empty_session_rejected(self):
@@ -193,6 +237,42 @@ class TestRunSession:
         )
         report = run_session(device, session)
         assert report.injected == 5
+
+    def test_flood_oracle_session_passes(self):
+        """l2_switch's default action floods: the oracle must expand the
+        prediction per port instead of pinning the flood sentinel."""
+        from repro.p4.stdlib import l2_switch
+
+        device = make_reference_device("ses-flood")
+        device.load(l2_switch())
+        session = ValidationSession(
+            name="flood",
+            streams=[StreamSpec(stream_id=1, packets=routed_packets(4))],
+            use_reference_oracle=True,
+        )
+        report = run_session(device, session)
+        assert report.passed
+
+    def test_flood_misroute_is_caught(self):
+        """A device unicasting a spec-flooded packet (MISROUTE fault)
+        must fail the flood expectation, not sneak through because the
+        chosen port happens to be a member of the flood set."""
+        from repro.p4.stdlib import l2_switch
+        from repro.target.faults import Fault, FaultKind
+
+        device = make_reference_device("ses-misroute")
+        device.load(l2_switch())
+        device.injector.inject(
+            Fault(FaultKind.MISROUTE, stage="deparser", port=3)
+        )
+        session = ValidationSession(
+            name="misroute",
+            streams=[StreamSpec(stream_id=1, packets=routed_packets(3))],
+            use_reference_oracle=True,
+        )
+        report = run_session(device, session)
+        assert not report.passed
+        assert report.findings_of("output_mismatch")
 
     def test_summary_renders(self):
         device = routed_device()

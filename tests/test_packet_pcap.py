@@ -90,3 +90,37 @@ class TestMalformed:
         records = read_pcap(path)
         assert records[0].data == b"abc"
         assert records[0].timestamp_us == 1_000_002
+
+
+class TestTruncatedCaptures:
+    def test_orig_len_round_trips(self, tmp_path):
+        path = tmp_path / "orig.pcap"
+        write_pcap(path, [PcapRecord(b"abcd", orig_len=1500)])
+        [record] = read_pcap(path)
+        assert record.data == b"abcd"
+        assert record.orig_len == 1500
+        assert record.truncated
+
+    def test_full_records_not_truncated(self, tmp_path):
+        path = tmp_path / "full.pcap"
+        write_pcap(path, [b"\x01\x02\x03"])
+        [record] = read_pcap(path)
+        assert record.orig_len == 3
+        assert not record.truncated
+
+    def test_orig_len_excluded_from_equality(self, tmp_path):
+        path = tmp_path / "eq.pcap"
+        original = PcapRecord(b"xy", timestamp_us=7)
+        write_pcap(path, [original])
+        [read_back] = read_pcap(path)
+        assert read_back == original  # orig_len filled in, still equal
+
+    def test_hand_built_truncated_record_detected(self, tmp_path):
+        path = tmp_path / "hand.pcap"
+        header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        # incl_len=2 but orig_len=60: a snaplen-truncated capture.
+        record = struct.pack("<IIII", 0, 0, 2, 60) + b"\xaa\xbb"
+        path.write_bytes(header + record)
+        [record_read] = read_pcap(path)
+        assert record_read.data == b"\xaa\xbb"
+        assert record_read.truncated

@@ -133,3 +133,77 @@ class TestMalformedMix:
 class TestDefaultFlow:
     def test_indexed_flows_distinct(self):
         assert default_flow(0) != default_flow(1)
+
+
+class TestRateGuards:
+    """rate_pps <= 0 must raise SimulationError eagerly, not divide by
+    zero (constant) or silently generate infinite gaps (poisson)."""
+
+    @pytest.mark.parametrize("rate", [0, 0.0, -1, -1e6, float("inf"),
+                                      float("nan")])
+    def test_constant_rate_rejects_bad_rate(self, rate):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            constant_rate_times(rate, 5)
+
+    @pytest.mark.parametrize("rate", [0, -2.5, float("inf")])
+    def test_poisson_rejects_bad_rate(self, rate):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            poisson_times(rate, 5)
+
+    def test_error_is_eager_not_deferred(self):
+        """The guard fires at call time, before any iteration."""
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            constant_rate_times(0, 5)  # never iterated
+
+    def test_valid_rates_still_work(self):
+        assert len(list(constant_rate_times(1e6, 4))) == 4
+        assert len(list(poisson_times(1e6, 4, seed=1))) == 4
+
+
+class TestWorkloadRegistry:
+    def test_known_workloads_materialize(self):
+        from repro.sim.traffic import WORKLOADS, build_workload
+
+        assert set(WORKLOADS) == {"udp", "imix", "poisson", "malformed"}
+        for name in WORKLOADS:
+            bundle = build_workload(name, default_flow(), 6, seed=2)
+            assert bundle.name == name
+            assert len(bundle.packets) == 6
+
+    def test_poisson_carries_arrival_times(self):
+        from repro.sim.traffic import build_workload
+
+        bundle = build_workload("poisson", default_flow(), 8, seed=3)
+        assert bundle.times_ns is not None
+        assert len(bundle.times_ns) == 8
+        assert list(bundle.times_ns) == sorted(bundle.times_ns)
+        assert build_workload("udp", default_flow(), 8).times_ns is None
+
+    def test_deterministic_per_seed(self):
+        from repro.sim.traffic import build_workload
+
+        a = build_workload("imix", default_flow(), 10, seed=5)
+        b = build_workload("imix", default_flow(), 10, seed=5)
+        c = build_workload("imix", default_flow(), 10, seed=6)
+        assert [p.pack() for p in a.packets] == [p.pack() for p in b.packets]
+        assert [p.pack() for p in a.packets] != [p.pack() for p in c.packets]
+
+    def test_unknown_workload_lists_registry(self):
+        from repro.exceptions import SimulationError
+        from repro.sim.traffic import build_workload
+
+        with pytest.raises(SimulationError, match="udp"):
+            build_workload("voip", default_flow(), 4)
+
+    def test_negative_count_rejected(self):
+        from repro.exceptions import SimulationError
+        from repro.sim.traffic import build_workload
+
+        with pytest.raises(SimulationError):
+            build_workload("udp", default_flow(), -1)
