@@ -120,6 +120,56 @@ def test_campaign_finds_the_reject_bug_at_scale(benchmark):
     benchmark.extra_info["findings_by_kind"] = report.findings_by_kind()
 
 
+#: The 3-way (program × target) matrix: every registered backend, both
+#: Tofino deviation mechanisms armed via the acl_gate provisioner.
+THREE_WAY_MATRIX = ScenarioMatrix(
+    programs=["strict_parser", "acl_firewall"],
+    targets=["reference", "sdnet", "tofino"],
+    faults={"baseline": ()},
+    workloads=["udp", "malformed"],
+    count=100,
+    seed=7,
+    setup="acl_gate",
+)
+
+
+def test_campaign_three_target_matrix(benchmark):
+    """Wall clock of the full 3-way matrix plus its verdict shape: the
+    reference column is clean, sdnet fails only the reject-leak cells,
+    tofino fails everywhere its deparse/TCAM deviations are exercised."""
+
+    report = benchmark.pedantic(
+        lambda: run_campaign(THREE_WAY_MATRIX, workers=1, name="3way"),
+        rounds=1, iterations=1,
+    )
+
+    lines = [f"{'scenario':<50} {'verdict':>8} {'score':>7}"]
+    for result in report.results:
+        lines.append(
+            f"{result.scenario.key:<50} {result.verdict.upper():>8} "
+            f"{result.score:>7.2f}"
+        )
+        key = result.scenario
+        if key.target == "reference":
+            assert result.passed
+        elif key.target == "sdnet":
+            # Only the §4 reject leak: strict_parser × malformed.
+            assert result.passed == (
+                not (key.program == "strict_parser"
+                     and key.workload == "malformed")
+            )
+        elif key.target == "tofino":
+            # Deparse truncation (strict_parser) and quantized TCAM
+            # deny-all (acl_firewall) fail every tofino cell here.
+            assert not result.passed
+    emit("EXP-CAMPAIGN — 3-way (program × target) matrix verdicts", lines)
+    benchmark.extra_info["targets"] = 3
+    benchmark.extra_info["scenarios"] = report.scenarios
+    benchmark.extra_info["packets"] = report.injected
+    benchmark.extra_info["failed"] = len(report.failed())
+    benchmark.extra_info["findings_by_kind"] = report.findings_by_kind()
+
+
 def test_campaign_serial_kernel(benchmark):
     """Microbenchmark: one small campaign, the per-shard hot path
     (oracle + injection + checking) with the per-worker compile cache."""

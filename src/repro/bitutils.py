@@ -8,6 +8,8 @@ ints.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from .exceptions import PacketError
 
 __all__ = [
@@ -28,6 +30,8 @@ __all__ = [
     "popcount",
     "reverse_bits",
     "hexdump",
+    "quantize_ternary_mask",
+    "quantize_range",
 ]
 
 
@@ -194,6 +198,62 @@ def reverse_bits(value: int, width: int) -> int:
         result = (result << 1) | (value & 1)
         value >>= 1
     return result
+
+
+@lru_cache(maxsize=4096)
+def quantize_ternary_mask(ternary_mask: int, width: int) -> int:
+    """Quantize a ternary match mask to a power-of-two (prefix) boundary.
+
+    Models TCAM hardware that only implements masks whose care bits form
+    one contiguous run from the MSB down: the returned mask keeps exactly
+    that leading run and clears every bit at or below the first don't-care
+    bit. The result is a subset of ``ternary_mask``, so a quantized entry
+    matches a *superset* of the values the original entry matched::
+
+        quantize_ternary_mask(0xFF00, 16) == 0xFF00   # already a prefix
+        quantize_ternary_mask(0xFF0F, 16) == 0xFF00   # hole -> truncated
+        quantize_ternary_mask(0x00FF, 16) == 0x0000   # no MSB run at all
+    """
+    ternary_mask = truncate(ternary_mask, width)
+    dont_care = ternary_mask ^ mask(width)
+    if not dont_care:
+        return ternary_mask  # exact-match mask, nothing to quantize
+    # Everything at or below the highest don't-care bit is cleared.
+    return ternary_mask & ~mask(dont_care.bit_length())
+
+
+@lru_cache(maxsize=4096)
+def quantize_range(low: int, high: int, width: int) -> tuple[int, int]:
+    """Quantize an inclusive range to the smallest covering aligned block.
+
+    Results are memoized (the inputs come from frozen, reusable
+    ``KeyPattern`` entries, so the per-packet fast-path cost of the
+    deviant TCAM is a cache hit, not a recomputation).
+
+    Models range matching implemented by TCAM expansion: the hardware
+    can only match blocks of ``2^k`` values starting at a multiple of
+    ``2^k``. Returns the bounds of the smallest such block containing
+    ``[low, high]`` — always a superset (within the width's value
+    domain) of the requested range. Out-of-width bounds are clamped to
+    the domain maximum rather than truncated: wrapping them would turn
+    the covering block into a disjoint subset::
+
+        quantize_range(4, 7, 16)      == (4, 7)      # already aligned
+        quantize_range(5001, 5002, 16) == (5000, 5003)
+    """
+    if high < low:
+        raise PacketError(f"empty range [{low}, {high}]")
+    top = mask(width)
+    low = max(0, min(low, top))
+    high = max(0, min(high, top))
+    span = high - low + 1
+    block = 1 << (span - 1).bit_length()
+    while block <= top:
+        start = low & ~(block - 1)
+        if start + block - 1 >= high:
+            return start, start + block - 1
+        block <<= 1
+    return 0, top
 
 
 def hexdump(data: bytes, width: int = 16) -> str:

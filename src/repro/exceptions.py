@@ -60,5 +60,11 @@ class NetDebugError(ReproError):
     """The NetDebug framework was misconfigured or misused."""
 
 
+class UnknownTargetError(NetDebugError):
+    """A scenario or manifest references a target backend that is not in
+    the campaign ``TARGETS`` registry. The message always lists the
+    registered targets so matrix typos are one-glance fixable."""
+
+
 class VerificationError(ReproError):
     """The formal-verification baseline hit an unsupported construct."""

@@ -3,8 +3,9 @@
 The paper's workflow is running *many* validation sessions against live
 targets to flush out data-plane bugs like the missing parser ``reject``
 state. A :class:`ScenarioMatrix` declares that workflow as data — the
-cross product of stdlib programs, targets (``reference``/``sdnet``),
-injected hardware fault sets (:mod:`repro.target.faults`) and named
+cross product of stdlib programs, targets
+(``reference``/``sdnet``/``tofino``), injected hardware fault sets
+(:mod:`repro.target.faults`) and named
 workloads (:data:`repro.sim.traffic.WORKLOADS`) — and
 :func:`run_campaign` expands it into independent
 :class:`~repro.netdebug.session.ValidationSession` shards executed
@@ -38,15 +39,17 @@ from dataclasses import dataclass, field as dc_field
 from pathlib import Path
 from typing import Callable
 
-from ..exceptions import NetDebugError
+from ..exceptions import NetDebugError, UnknownTargetError
 from ..p4.stdlib import PROGRAMS
 from ..p4.program import P4Program
+from ..packet.headers import mac
 from ..sim.traffic import WORKLOADS, build_workload, default_flow
 from ..target.compiler import CompiledProgram
 from ..target.device import NetworkDevice
 from ..target.faults import Fault, FaultKind
 from ..target.reference import make_reference_device
 from ..target.sdnet import make_sdnet_device
+from ..target.tofino import make_tofino_device
 from .generator import StreamSpec
 from .regression import RegressionSuite, replay_suite
 from .report import Capability, SessionReport
@@ -55,6 +58,9 @@ from .session import ValidationSession, reference_expectation, run_session
 __all__ = [
     "TARGETS",
     "PROVISIONERS",
+    "require_known_target",
+    "require_known_program",
+    "provision_acl_gate",
     "Scenario",
     "ScenarioMatrix",
     "ScenarioResult",
@@ -68,14 +74,73 @@ __all__ = [
 TARGETS: dict[str, Callable[[str], NetworkDevice]] = {
     "reference": make_reference_device,
     "sdnet": make_sdnet_device,
+    "tofino": make_tofino_device,
 }
+
+
+def require_known_target(target: str, where: str) -> None:
+    """Raise :class:`UnknownTargetError` unless ``target`` is registered.
+
+    The single choke point for every ``TARGETS``-unknown error path
+    (matrix validation, manifest replay): one exception type, and the
+    message always carries the registered-target list.
+    """
+    if target not in TARGETS:
+        known = ", ".join(sorted(TARGETS))
+        raise UnknownTargetError(
+            f"{where} references unknown target {target!r}; "
+            f"known targets: {known}"
+        )
+
+
+def require_known_program(program: str, where: str) -> None:
+    """Raise :class:`NetDebugError` unless ``program`` is in the stdlib.
+
+    The program-axis counterpart of :func:`require_known_target`, shared
+    by matrix validation, manifest replay and the differential runner.
+    """
+    if program not in PROGRAMS:
+        known = ", ".join(sorted(PROGRAMS))
+        raise NetDebugError(
+            f"{where} references unknown program {program!r}; "
+            f"stdlib offers: {known}"
+        )
+
+def provision_acl_gate(device: NetworkDevice) -> None:
+    """Built-in ``acl_firewall`` setup for 3-way differential sweeps.
+
+    Forwards the campaign workloads' destination MAC out port 2 and
+    installs one ternary ACL deny whose mask (``0x00FF`` over the L4
+    destination port) has no leading care-bit run. Spec semantics deny
+    almost nothing; a TCAM that quantizes masks to power-of-two
+    boundaries (:mod:`repro.target.tofino`) degrades the mask to
+    match-anything and silently denies *all* IPv4 traffic — which is
+    exactly the deviation a (program × target) sweep should surface.
+
+    Program-aware so mixed-program matrices can name it as ``setup``:
+    devices running anything but ``acl_firewall`` are left untouched.
+    """
+    if device.program.name != "acl_firewall":
+        return
+    control = device.control_plane
+    control.table_add("fwd", "forward", [mac("02:00:00:00:00:02")], [2])
+    control.table_add(
+        "acl",
+        "deny",
+        [(0, 0), (0, 0), (0, 0), (0, 0), (0x00FF, 0x00FF)],
+        [],
+        priority=10,
+    )
+
 
 #: Named control-plane provisioners (table entries etc.), applied ONCE
 #: per cached artifact — entries land on the shared program object, so
 #: provisioning must be install-once/read-many. Register module-level
 #: callables only (workers must be able to pickle scenario references
 #: to them by name).
-PROVISIONERS: dict[str, Callable[[NetworkDevice], None]] = {}
+PROVISIONERS: dict[str, Callable[[NetworkDevice], None]] = {
+    "acl_gate": provision_acl_gate,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -135,17 +200,9 @@ class ScenarioMatrix:
         if self.count <= 0:
             raise NetDebugError("scenario matrix count must be positive")
         for program in self.programs:
-            if program not in PROGRAMS:
-                known = ", ".join(sorted(PROGRAMS))
-                raise NetDebugError(
-                    f"unknown program {program!r}; stdlib offers: {known}"
-                )
+            require_known_program(program, "scenario matrix")
         for target in self.targets:
-            if target not in TARGETS:
-                known = ", ".join(sorted(TARGETS))
-                raise NetDebugError(
-                    f"unknown target {target!r}; known targets: {known}"
-                )
+            require_known_target(target, "scenario matrix")
         for workload in self.workloads:
             if workload not in WORKLOADS:
                 known = ", ".join(sorted(WORKLOADS))
@@ -702,16 +759,12 @@ def replay_campaign(
         )
         # A hand-edited or version-skewed manifest must fail here with a
         # clear error, not as a KeyError inside the worker pool.
-        if scenario.program not in PROGRAMS:
-            raise NetDebugError(
-                f"manifest scenario {scenario.index} references unknown "
-                f"program {scenario.program!r}"
-            )
-        if scenario.target not in TARGETS:
-            raise NetDebugError(
-                f"manifest scenario {scenario.index} references unknown "
-                f"target {scenario.target!r}"
-            )
+        require_known_program(
+            scenario.program, f"manifest scenario {scenario.index}"
+        )
+        require_known_target(
+            scenario.target, f"manifest scenario {scenario.index}"
+        )
         if scenario.fault not in faults:
             raise NetDebugError(
                 f"manifest scenario {scenario.index} references unknown "

@@ -15,6 +15,14 @@ implements two complementary strategies over the pipeline's taps:
 
 An external tester has neither capability: it can only report that the
 device as a whole ate the packet.
+
+The module also carries the **deviation capability map**
+(:data:`DEVIATION_CAPABILITIES`): for every known silent-deviation tag
+a backend can stamp on its compiled artifact, which pipeline stage the
+deviation corrupts and which differential finding kinds it can produce.
+:func:`diagnose_deviations` / :func:`explain_findings` turn a 3-way
+(program × target) sweep's per-cell failures into "backend X deviates
+in stage Y because Z" answers.
 """
 
 from __future__ import annotations
@@ -22,10 +30,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..p4.interpreter import Verdict
+from ..target.compiler import CompiledProgram
 from ..target.device import NetworkDevice
 from ..target.pipeline import PacketSnapshot, TAP_INPUT
+from ..target.sdnet import REJECT_NOT_IMPLEMENTED
+from ..target.tofino import DEPARSE_FIELD_BUDGET_EXCEEDED, TCAM_QUANTIZED
 
-__all__ = ["LocalizationResult", "localize_fault", "bisect_fault"]
+__all__ = [
+    "LocalizationResult",
+    "localize_fault",
+    "bisect_fault",
+    "DEVIATION_CAPABILITIES",
+    "DeviationDiagnosis",
+    "diagnose_deviations",
+    "explain_findings",
+]
 
 
 @dataclass
@@ -171,3 +190,97 @@ def localize(
     active = bisect_fault(device, wire, ingress_port)
     active.injections_used += result.injections_used
     return active
+
+
+# ---------------------------------------------------------------------------
+# Deviation capability map: tag -> (stage, finding kinds, why)
+# ---------------------------------------------------------------------------
+
+#: For every known silent-deviation tag: the pipeline stage the deviant
+#: datapath corrupts, the differential finding kinds the deviation can
+#: produce against the spec oracle, and a one-line explanation. This is
+#: what lets a 3-way sweep answer not just *that* a target diverged but
+#: *which backend*, *where*, and *why*.
+DEVIATION_CAPABILITIES: dict[str, tuple[str, tuple[str, ...], str]] = {
+    REJECT_NOT_IMPLEMENTED: (
+        "parser",
+        ("unexpected_output",),
+        "parser reject state not implemented: packets the spec kills in "
+        "the parser continue through the pipeline and leak to the wire",
+    ),
+    TCAM_QUANTIZED: (
+        "ingress",
+        ("missing_output", "unexpected_output", "output_mismatch"),
+        "ternary/range patterns quantized to power-of-two boundaries: "
+        "installed entries match a superset of the intended traffic, so "
+        "the wrong action fires (drops, leaks or rewrites the spec "
+        "never asked for)",
+    ),
+    DEPARSE_FIELD_BUDGET_EXCEEDED: (
+        "deparser",
+        ("output_mismatch",),
+        "headers past the deparser's field budget are silently not "
+        "serialized: forwarded packets leave with bytes missing",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DeviationDiagnosis:
+    """One declared deviation, localized to its stage and failure mode."""
+
+    target: str
+    tag: str
+    stage: str
+    finding_kinds: tuple[str, ...]
+    why: str
+
+    def __str__(self) -> str:
+        return (
+            f"target {self.target!r} deviates at stage {self.stage!r} "
+            f"[{self.tag}]: {self.why}"
+        )
+
+
+def diagnose_deviations(compiled: CompiledProgram) -> list[DeviationDiagnosis]:
+    """Localize every deviation a compiled artifact declares.
+
+    The artifact's ``silent_deviations`` tags are ground truth the
+    toolchain never shows users; this maps each onto the pipeline stage
+    it corrupts via :data:`DEVIATION_CAPABILITIES`. Unknown tags map to
+    an ``unknown`` stage rather than being dropped — a new deviant
+    backend must fail loudly in sweeps until the map learns its tag.
+    """
+    diagnoses = []
+    for tag in compiled.silent_deviations:
+        stage, kinds, why = DEVIATION_CAPABILITIES.get(
+            tag, ("unknown", (), f"unmapped deviation tag {tag!r}")
+        )
+        diagnoses.append(
+            DeviationDiagnosis(
+                target=compiled.target_name,
+                tag=tag,
+                stage=stage,
+                finding_kinds=kinds,
+                why=why,
+            )
+        )
+    return diagnoses
+
+
+def explain_findings(
+    compiled: CompiledProgram, finding_kinds
+) -> dict[str, list[DeviationDiagnosis]]:
+    """Attribute observed differential finding kinds to declared deviations.
+
+    Returns ``{finding_kind: [diagnoses that can produce it]}`` for each
+    distinct kind in ``finding_kinds``; a kind no declared deviation
+    explains maps to an empty list — the caller's signal that the
+    divergence is a genuine fault (or an undeclared deviation), not a
+    known toolchain quirk.
+    """
+    diagnoses = diagnose_deviations(compiled)
+    return {
+        kind: [d for d in diagnoses if kind in d.finding_kinds]
+        for kind in dict.fromkeys(finding_kinds)
+    }

@@ -2,18 +2,24 @@
 
 "Finding limitations in the architecture."
 
-Three probing challenges against the SDNet-like target's published
-limits (:data:`repro.target.limits.SDNET_LIMITS`, an
-:class:`~repro.target.limits.ArchLimits`):
+Probing challenges against each target's published limits
+(:class:`~repro.target.limits.ArchLimits`):
 
-1. **parse-depth** — discover the deepest parse chain the target accepts
+1. **parse-depth** — discover the deepest parse chain a target accepts
    by compiling a ladder of programs; confirm the found limit matches
    (or exposes a mismatch in) the published figure.
 2. **table-capacity** — fill a table to its claimed size through the
    control plane and verify both the capacity and the over-capacity
    rejection behave as published.
-3. **match-kinds** — discover which match kinds the target actually
+3. **match-kinds** — discover which match kinds a target actually
    builds.
+4. **tcam-budget** — discover the Tofino-like target's per-stage TCAM
+   key-bit budget by compiling ever-wider ternary keys.
+5. **backend-deviations** — compile canary programs on all three
+   registered backends and localize each declared silent deviation to
+   its pipeline stage via the deviation capability map
+   (:data:`repro.netdebug.localization.DEVIATION_CAPABILITIES`) — the
+   "which backend deviates, and why" answer a 3-way sweep needs.
 
 These need compiler and management access, which only NetDebug's
 workflow has. The external tester can black-box a limit's *symptoms* at
@@ -27,13 +33,25 @@ from ...p4.actions import Forward
 from ...p4.dsl import ProgramBuilder
 from ...p4.expr import Const, fld
 from ...p4.program import P4Program
+from ...p4.stdlib import acl_firewall, strict_parser
 from ...p4.table import MatchKind
 from ...packet.fields import HeaderSpec
-from ...target.limits import SDNET_LIMITS
+from ...target.limits import SDNET_LIMITS, TOFINO_LIMITS
+from ...target.reference import ReferenceCompiler
 from ...target.sdnet import SDNetCompiler, make_sdnet_device
+from ...target.tofino import TofinoCompiler
+from ..localization import diagnose_deviations
 from .base import Challenge, UseCaseResult, score_suite
 
-__all__ = ["run", "chain_program", "probe_parse_depth", "probe_table_capacity"]
+__all__ = [
+    "run",
+    "chain_program",
+    "probe_parse_depth",
+    "probe_table_capacity",
+    "probe_match_kinds",
+    "probe_tcam_stage_budget",
+    "probe_backend_deviations",
+]
 
 
 def _link_header(index: int) -> HeaderSpec:
@@ -61,9 +79,9 @@ def chain_program(depth: int) -> P4Program:
     return b.build()
 
 
-def probe_parse_depth(max_probe: int = 24) -> int:
-    """Largest parse depth the SDNet compiler accepts."""
-    compiler = SDNetCompiler()
+def probe_parse_depth(max_probe: int = 24, compiler_factory=SDNetCompiler) -> int:
+    """Largest parse depth the probed compiler accepts (SDNet by default)."""
+    compiler = compiler_factory()
     deepest = 0
     for depth in range(1, max_probe + 1):
         try:
@@ -106,8 +124,8 @@ def probe_table_capacity(size: int) -> tuple[int, bool]:
     return installed, overflow_rejected
 
 
-def probe_match_kinds() -> dict[str, bool]:
-    """Which match kinds the target actually compiles."""
+def probe_match_kinds(compiler_factory=SDNetCompiler) -> dict[str, bool]:
+    """Which match kinds the probed target actually compiles."""
     from ...packet.headers import ETHERNET, IPV4, ETHERTYPE_IPV4
     from ...p4.parser import ACCEPT
 
@@ -132,11 +150,66 @@ def probe_match_kinds() -> dict[str, bool]:
         b.ingress.stmt(If(IsValid("ipv4"), ApplyTable("probe")))
         b.emit("ethernet", "ipv4")
         try:
-            SDNetCompiler().compile(b.build())
+            compiler_factory().compile(b.build())
             results[kind.value] = True
         except CompileError:
             results[kind.value] = False
     return results
+
+
+def _wide_ternary_program(key_bits: int) -> P4Program:
+    """A one-table program with a single ``key_bits``-wide ternary key."""
+    b = ProgramBuilder(f"tcam_{key_bits}")
+    b.header(HeaderSpec.build(f"wide{key_bits}", ("key", key_bits)))
+    b.parser_state("start", extracts=[f"wide{key_bits}"]).accept()
+    table = b.ingress.table("tcam")
+    table.key(fld(f"wide{key_bits}", "key"), MatchKind.TERNARY, "key")
+    table.action("out", [], [Forward(Const(0, 9))])
+    table.default("NoAction").size(16)
+    b.ingress.apply("tcam")
+    b.emit(f"wide{key_bits}")
+    return b.build()
+
+
+def probe_tcam_stage_budget(
+    max_probe_bits: int = 256, step: int = 8, compiler_factory=TofinoCompiler
+) -> int:
+    """Widest ternary key (in bits) the probed target builds in one stage."""
+    compiler = compiler_factory()
+    widest = 0
+    for key_bits in range(step, max_probe_bits + 1, step):
+        try:
+            compiler.compile(_wide_ternary_program(key_bits))
+            widest = key_bits
+        except CompileError:
+            break
+    return widest
+
+
+#: Canary programs that between them trip every known silent deviation:
+#: ``strict_parser`` reaches ``reject`` and emits past the Tofino
+#: deparse budget; ``acl_firewall`` adds ternary keys for the TCAM.
+_DEVIATION_CANARIES = (strict_parser, acl_firewall)
+
+
+def probe_backend_deviations() -> dict[str, dict[str, str]]:
+    """Compile canaries on all three backends; localize declared deviations.
+
+    Returns ``{target_name: {deviation_tag: pipeline_stage}}`` — the
+    3-way sweep's answer to *which* backend deviates and *where*. The
+    reference backend must come back empty.
+    """
+    compilers = (ReferenceCompiler, SDNetCompiler, TofinoCompiler)
+    deviations: dict[str, dict[str, str]] = {}
+    for compiler_factory in compilers:
+        compiler = compiler_factory()
+        per_target: dict[str, str] = {}
+        for canary in _DEVIATION_CANARIES:
+            compiled = compiler.compile(canary())
+            for diagnosis in diagnose_deviations(compiled):
+                per_target[diagnosis.tag] = diagnosis.stage
+        deviations[compiler.limits.name] = per_target
+    return deviations
 
 
 def run(tool: str, seed: int = 0) -> UseCaseResult:
@@ -153,6 +226,27 @@ def run(tool: str, seed: int = 0) -> UseCaseResult:
             and kinds["lpm"]
             and kinds["ternary"]
             and not kinds["range"]
+        )
+        tofino_depth = probe_parse_depth(compiler_factory=TofinoCompiler)
+        tofino_kinds = probe_match_kinds(compiler_factory=TofinoCompiler)
+        tcam_budget = probe_tcam_stage_budget()
+        tofino_ok = (
+            tofino_depth == TOFINO_LIMITS.max_parse_depth
+            and all(tofino_kinds.values())
+            and tcam_budget == TOFINO_LIMITS.tcam_bits_per_stage
+        )
+        deviations = probe_backend_deviations()
+        deviations_ok = (
+            deviations.get("reference") == {}
+            and deviations.get("sdnet-sume", {}).get(
+                "parser-reject-not-implemented"
+            ) == "parser"
+            and deviations.get("tofino-sim", {}).get(
+                "ternary-range-quantized-pow2"
+            ) == "ingress"
+            and deviations.get("tofino-sim", {}).get(
+                "deparse-field-budget-exceeded"
+            ) == "deparser"
         )
         challenges = [
             Challenge(
@@ -171,6 +265,29 @@ def run(tool: str, seed: int = 0) -> UseCaseResult:
                 "match-kinds",
                 1.0 if kinds_ok else 0.0,
                 f"supported: {sorted(k for k, v in kinds.items() if v)}",
+            ),
+            Challenge(
+                "tofino-envelope",
+                1.0 if tofino_ok else 0.0,
+                f"probed depth {tofino_depth}/"
+                f"{TOFINO_LIMITS.max_parse_depth}, TCAM budget "
+                f"{tcam_budget}/{TOFINO_LIMITS.tcam_bits_per_stage} bits, "
+                f"kinds {sorted(k for k, v in tofino_kinds.items() if v)}",
+            ),
+            Challenge(
+                "backend-deviations",
+                1.0 if deviations_ok else 0.0,
+                "; ".join(
+                    f"{target}: "
+                    + (
+                        ", ".join(
+                            f"{tag}@{stage}"
+                            for tag, stage in sorted(tags.items())
+                        )
+                        or "spec-faithful"
+                    )
+                    for target, tags in sorted(deviations.items())
+                ),
             ),
         ]
     elif tool == "external":
@@ -191,12 +308,24 @@ def run(tool: str, seed: int = 0) -> UseCaseResult:
                 "match-kinds", 0.0,
                 "match-kind support is a toolchain property",
             ),
+            Challenge(
+                "tofino-envelope", 0.0,
+                "per-stage TCAM budgets are a toolchain property",
+            ),
+            Challenge(
+                "backend-deviations",
+                0.5,
+                "can observe end-to-end divergence, cannot attribute it "
+                "to a backend stage",
+            ),
         ]
     elif tool == "formal":
         challenges = [
             Challenge("parse-depth", 0.0, "no target model"),
             Challenge("table-capacity", 0.0, "no target model"),
             Challenge("match-kinds", 0.0, "no target model"),
+            Challenge("tofino-envelope", 0.0, "no target model"),
+            Challenge("backend-deviations", 0.0, "no target model"),
         ]
     else:
         raise ValueError(f"unknown tool {tool!r}")

@@ -29,3 +29,26 @@ class Deparser:
                 f"deparser already emits header {header!r}"
             )
         self.emit_order.append(header)
+
+    def emit_prefix(self, env, field_budget: int | None) -> tuple[str, ...]:
+        """The emit-order prefix a field-budgeted deparser serializes.
+
+        Walks the emit order accumulating header *field* counts against
+        ``field_budget``; the first header that would push the running
+        total past the budget — and everything after it — is cut.
+        ``None`` means no budget (the full emit order). This is the
+        single definition of the Tofino-like deparse-truncation
+        deviation, shared by the closure compiler, the tree-walking
+        interpreter and the differential oracles so they cannot drift.
+        """
+        emit_order = tuple(self.emit_order)
+        if field_budget is None:
+            return emit_order
+        prefix: list[str] = []
+        fields = 0
+        for name in emit_order:
+            fields += len(env.header(name).fields)
+            if fields > field_budget:
+                break
+            prefix.append(name)
+        return tuple(prefix)

@@ -215,6 +215,16 @@ class Interpreter:
         honor_reject: When False, a parser transition to ``reject`` is
             silently treated as ``accept`` — the SDNet deviation the paper's
             case study discovered. Reference semantics use True.
+        quantize_tcam: When True, ternary/range table patterns are
+            quantized to power-of-two boundaries at match time — the
+            Tofino-like TCAM deviation. Reference semantics use False.
+        deparse_field_budget: When set, only the emit-order prefix
+            within this header-field budget is deparsed — the
+            Tofino-like deparse deviation. Reference semantics use None.
+
+    The three deviation knobs default to spec-faithful values; targets
+    reuse this engine with their own settings so every deviant datapath
+    has exactly one tree-walking definition.
     """
 
     def __init__(
@@ -222,10 +232,16 @@ class Interpreter:
         program: P4Program,
         state: RuntimeState | None = None,
         honor_reject: bool = True,
+        quantize_tcam: bool = False,
+        deparse_field_budget: int | None = None,
     ):
         self.program = program
         self.state = state or RuntimeState.for_program(program)
         self.honor_reject = honor_reject
+        self.quantize_tcam = quantize_tcam
+        self._emit_prefix = program.deparser.emit_prefix(
+            program.env, deparse_field_budget
+        )
 
     # ------------------------------------------------------------------
     # Entry point
@@ -398,7 +414,9 @@ class Interpreter:
         trace: Trace,
     ) -> bool:
         table = control.table(table_name)
-        result = table.lookup(ctx, self.program.env)
+        result = table.lookup(
+            ctx, self.program.env, quantize=self.quantize_tcam
+        )
         trace.add(
             "table_apply",
             f"{table_name}: {'hit' if result.hit else 'miss'} -> "
@@ -572,9 +590,13 @@ class Interpreter:
     # Deparser
     # ------------------------------------------------------------------
     def deparse(self, packet: Packet, trace: Trace) -> Packet:
-        """Re-serialize per the deparser's emit order."""
+        """Re-serialize per the deparser's emit order.
+
+        A deviant ``deparse_field_budget`` restricts emission to the
+        budgeted prefix (:meth:`repro.p4.deparser.Deparser.emit_prefix`).
+        """
         emitted: list[Header] = []
-        for name in self.program.deparser.emit_order:
+        for name in self._emit_prefix:
             header = packet.get_or_none(name)
             if header is not None and header.valid:
                 emitted.append(header)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..bitutils import quantize_range, quantize_ternary_mask
 from ..exceptions import ControlPlaneError, P4TypeError, P4ValidationError
 from .actions import Action
 from .expr import EvalContext, Expr
@@ -95,8 +96,20 @@ class MatchResult:
 
 
 def _key_matches(
-    kind: MatchKind, pattern: KeyPattern, value: int, width: int
+    kind: MatchKind,
+    pattern: KeyPattern,
+    value: int,
+    width: int,
+    quantize: bool = False,
 ) -> bool:
+    """Match one key value against one pattern.
+
+    ``quantize`` selects the TCAM-quantized semantics of targets whose
+    ternary/range hardware only implements power-of-two boundaries
+    (:func:`repro.bitutils.quantize_ternary_mask` /
+    :func:`repro.bitutils.quantize_range`); exact and LPM keys are
+    unaffected — an LPM prefix already *is* a power-of-two block.
+    """
     if kind is MatchKind.EXACT:
         return value == pattern.value
     if kind is MatchKind.LPM:
@@ -109,11 +122,17 @@ def _key_matches(
     if kind is MatchKind.TERNARY:
         if pattern.mask is None:
             raise ControlPlaneError("ternary pattern missing mask")
-        return (value & pattern.mask) == (pattern.value & pattern.mask)
+        key_mask = pattern.mask
+        if quantize:
+            key_mask = quantize_ternary_mask(key_mask, width)
+        return (value & key_mask) == (pattern.value & key_mask)
     if kind is MatchKind.RANGE:
         if pattern.high is None:
             raise ControlPlaneError("range pattern missing high bound")
-        return pattern.value <= value <= pattern.high
+        low, high = pattern.value, pattern.high
+        if quantize:
+            low, high = quantize_range(low, high, width)
+        return low <= value <= high
     raise P4TypeError(f"unknown match kind {kind!r}")
 
 
@@ -198,12 +217,17 @@ class Table:
     # ------------------------------------------------------------------
     # Data-plane lookup
     # ------------------------------------------------------------------
-    def lookup(self, ctx: EvalContext, env) -> MatchResult:
+    def lookup(
+        self, ctx: EvalContext, env, quantize: bool = False
+    ) -> MatchResult:
         """Match the packet in ``ctx`` against the installed entries.
 
         Selection follows P4 semantics: among matching entries, LPM tables
         prefer the longest prefix; ternary/range tables prefer the highest
         priority; exact tables have at most one match by construction.
+        ``quantize`` applies the power-of-two TCAM quantization some
+        targets silently impose on ternary/range keys (see
+        :func:`_key_matches`); spec-faithful callers leave it False.
         """
         values = tuple(key.expr.eval(ctx, env) for key in self.keys)
         widths = tuple(key.expr.width(env) for key in self.keys)
@@ -211,7 +235,7 @@ class Table:
         best_rank: tuple[int, int] = (-1, -1)
         for entry in self.entries:
             if not all(
-                _key_matches(key.kind, pattern, value, width)
+                _key_matches(key.kind, pattern, value, width, quantize)
                 for key, pattern, value, width in zip(
                     self.keys, entry.patterns, values, widths
                 )

@@ -4,17 +4,20 @@ The package splits into the performance-first execution core —
 :mod:`~repro.target.fastpath` (closure compilation),
 :mod:`~repro.target.pipeline` (staged execution, taps, faults) and
 :mod:`~repro.target.device` (ports, stats, management interface) — and
-the two concrete targets: the spec-faithful reference
-(:mod:`~repro.target.reference`) and the SDNet-like backend whose
+the three concrete targets: the spec-faithful reference
+(:mod:`~repro.target.reference`), the SDNet-like backend whose
 datapath silently omits the parser ``reject`` state
-(:mod:`~repro.target.sdnet`), reproducing the paper's §4 case study.
+(:mod:`~repro.target.sdnet`), reproducing the paper's §4 case study,
+and the Tofino-like backend that quantizes TCAM patterns and truncates
+the deparser (:mod:`~repro.target.tofino`) — a *differently* deviant
+third corner for 3-way differential sweeps.
 """
 
 from .compiler import CompiledProgram, Diagnostic, TargetCompiler
 from .device import FLOOD_PORT, DeviceStats, NetworkDevice, Port
 from .fastpath import FastProgram, compile_program
 from .faults import Fault, FaultInjector, FaultKind
-from .limits import REFERENCE_LIMITS, SDNET_LIMITS, ArchLimits
+from .limits import REFERENCE_LIMITS, SDNET_LIMITS, TOFINO_LIMITS, ArchLimits
 from .pipeline import (
     PacketSnapshot,
     StagedPipeline,
@@ -32,6 +35,13 @@ from .resources import (
     estimate_stateful,
 )
 from .sdnet import REJECT_NOT_IMPLEMENTED, SDNetCompiler, make_sdnet_device
+from .tofino import (
+    DEPARSE_FIELD_BUDGET,
+    DEPARSE_FIELD_BUDGET_EXCEEDED,
+    TCAM_QUANTIZED,
+    TofinoCompiler,
+    make_tofino_device,
+)
 
 __all__ = [
     # device
@@ -58,10 +68,16 @@ __all__ = [
     "SDNetCompiler",
     "make_sdnet_device",
     "REJECT_NOT_IMPLEMENTED",
+    "TofinoCompiler",
+    "make_tofino_device",
+    "TCAM_QUANTIZED",
+    "DEPARSE_FIELD_BUDGET",
+    "DEPARSE_FIELD_BUDGET_EXCEEDED",
     # limits and resources
     "ArchLimits",
     "REFERENCE_LIMITS",
     "SDNET_LIMITS",
+    "TOFINO_LIMITS",
     "ResourceUsage",
     "DeviceCapacity",
     "SUME_CAPACITY",

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..exceptions import CompileError
 from ..p4.program import P4Program
+from ..p4.table import MatchKind
 from ..p4.validation import validate_program
 from .fastpath import FastProgram, compile_program
 from .limits import ArchLimits
@@ -47,7 +48,14 @@ class Diagnostic:
 
 @dataclass
 class CompiledProgram:
-    """The artifact ``load`` installs on a device."""
+    """The artifact ``load`` installs on a device.
+
+    ``honor_reject`` / ``quantize_tcam`` / ``deparse_field_budget`` are
+    the artifact's *behavioural model*: the exact datapath semantics the
+    backend generated, including its silent deviations. They are ground
+    truth for differential testing (``silent_deviations`` carries the
+    matching tags) and are deliberately absent from ``diagnostics``.
+    """
 
     program: P4Program
     target_name: str
@@ -57,6 +65,8 @@ class CompiledProgram:
     resources: ResourceUsage = field(default_factory=ResourceUsage)
     utilization: dict[str, float] = field(default_factory=dict)
     fast: FastProgram | None = field(default=None, repr=False)
+    quantize_tcam: bool = False
+    deparse_field_budget: int | None = None
 
 
 class TargetCompiler:
@@ -68,9 +78,18 @@ class TargetCompiler:
         honor_reject: Whether the generated datapath implements the
             parser ``reject`` state. The base compiler and the
             reference target do; the SDNet-like backend does not.
+        quantize_tcam: Whether the generated datapath quantizes
+            ternary/range patterns to power-of-two boundaries (the
+            Tofino-like backend's TCAM deviation).
+        deparse_field_budget: Header-field budget of the generated
+            deparser, or ``None`` for a spec-faithful deparser. Headers
+            past the budget are silently not deparsed (the Tofino-like
+            backend's second deviation).
     """
 
     honor_reject: bool = True
+    quantize_tcam: bool = False
+    deparse_field_budget: int | None = None
 
     def __init__(
         self,
@@ -143,6 +162,18 @@ class TargetCompiler:
                         f"table {name!r} uses the {key.kind.value} match "
                         "kind, which this target does not build"
                     )
+            if limits.tcam_bits_per_stage is not None:
+                tcam_bits = sum(
+                    key.expr.width(program.env)
+                    for key in table.keys
+                    if key.kind in (MatchKind.TERNARY, MatchKind.RANGE)
+                )
+                if tcam_bits > limits.tcam_bits_per_stage:
+                    error(
+                        f"table {name!r} needs {tcam_bits} TCAM key bits; "
+                        f"target offers {limits.tcam_bits_per_stage} per "
+                        "stage"
+                    )
 
         pipeline_depth = program.pipeline_depth()
         if pipeline_depth > limits.max_pipeline_depth:
@@ -202,5 +233,12 @@ class TargetCompiler:
             silent_deviations=self.deviations(program),
             resources=resources,
             utilization=self.capacity.utilization(resources),
-            fast=compile_program(program, self.honor_reject),
+            fast=compile_program(
+                program,
+                self.honor_reject,
+                quantize_tcam=self.quantize_tcam,
+                deparse_field_budget=self.deparse_field_budget,
+            ),
+            quantize_tcam=self.quantize_tcam,
+            deparse_field_budget=self.deparse_field_budget,
         )

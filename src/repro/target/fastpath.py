@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..bitutils import mask
+from ..bitutils import mask, quantize_range, quantize_ternary_mask
 from ..exceptions import P4RuntimeError, P4ValidationError, PacketError
 from ..p4.actions import (
     Action,
@@ -62,7 +62,12 @@ from ..p4.types import (
 from ..packet.fields import HeaderSpec
 from ..packet.packet import Header, Packet
 
-__all__ = ["ExecState", "FastProgram", "compile_program", "control_stages"]
+__all__ = [
+    "ExecState",
+    "FastProgram",
+    "compile_program",
+    "control_stages",
+]
 
 
 class ExecState:
@@ -417,12 +422,18 @@ def _compile_action(program: P4Program, action: Action):
 # ----------------------------------------------------------------------
 # Tables and control flow
 # ----------------------------------------------------------------------
-def _compile_table_apply(program: P4Program, table: Table):
+def _compile_table_apply(
+    program: P4Program, table: Table, quantize_tcam: bool = False
+):
     """Compile ``table.apply()`` into ``apply(state) -> hit``.
 
     Entries are read live from the shared :class:`Table`, so control
     plane updates are visible immediately; only the key evaluators,
     widths and action bodies are frozen at compile time.
+    ``quantize_tcam`` selects the deviant TCAM semantics: ternary masks
+    and range bounds are quantized to power-of-two boundaries at match
+    time (entries change dynamically, so quantization cannot be frozen
+    per entry here) — mirroring ``Table.lookup(..., quantize=True)``.
     """
     env = program.env
     key_fns = tuple(compile_expr(key.expr, env) for key in table.keys)
@@ -471,6 +482,10 @@ def _compile_table_apply(program: P4Program, table: Table):
                         key_mask = pattern.mask
                         if key_mask is None:
                             raise P4RuntimeError("ternary pattern missing mask")
+                        if quantize_tcam:
+                            key_mask = quantize_ternary_mask(
+                                key_mask, widths[i]
+                            )
                         if (value & key_mask) != (pattern.value & key_mask):
                             matched = False
                             break
@@ -480,7 +495,10 @@ def _compile_table_apply(program: P4Program, table: Table):
                             raise P4RuntimeError(
                                 "range pattern missing high bound"
                             )
-                        if not pattern.value <= value <= high:
+                        low = pattern.value
+                        if quantize_tcam:
+                            low, high = quantize_range(low, high, widths[i])
+                        if not low <= value <= high:
                             matched = False
                             break
                 if not matched:
@@ -500,7 +518,12 @@ def _compile_table_apply(program: P4Program, table: Table):
     return apply
 
 
-def _compile_stmt(program: P4Program, control: Control, stmt: Stmt | None):
+def _compile_stmt(
+    program: P4Program,
+    control: Control,
+    stmt: Stmt | None,
+    quantize_tcam: bool = False,
+):
     """Compile one statement tree into ``run(state)``."""
     if stmt is None:
         return None
@@ -509,7 +532,8 @@ def _compile_stmt(program: P4Program, control: Control, stmt: Stmt | None):
         body = [
             fn
             for fn in (
-                _compile_stmt(program, control, child) for child in stmt.body
+                _compile_stmt(program, control, child, quantize_tcam)
+                for child in stmt.body
             )
             if fn is not None
         ]
@@ -526,8 +550,10 @@ def _compile_stmt(program: P4Program, control: Control, stmt: Stmt | None):
 
     if isinstance(stmt, If):
         cond_fn = compile_expr(stmt.cond, program.env)
-        then_fn = _compile_stmt(program, control, stmt.then)
-        else_fn = _compile_stmt(program, control, stmt.otherwise)
+        then_fn = _compile_stmt(program, control, stmt.then, quantize_tcam)
+        else_fn = _compile_stmt(
+            program, control, stmt.otherwise, quantize_tcam
+        )
 
         def run_if(state):
             branch = then_fn if cond_fn(state.packet, state.metadata, ()) \
@@ -538,7 +564,9 @@ def _compile_stmt(program: P4Program, control: Control, stmt: Stmt | None):
         return run_if
 
     if isinstance(stmt, ApplyTable):
-        apply_fn = _compile_table_apply(program, control.table(stmt.table))
+        apply_fn = _compile_table_apply(
+            program, control.table(stmt.table), quantize_tcam
+        )
 
         def run_apply(state):
             apply_fn(state)
@@ -546,9 +574,13 @@ def _compile_stmt(program: P4Program, control: Control, stmt: Stmt | None):
         return run_apply
 
     if isinstance(stmt, IfHit):
-        apply_fn = _compile_table_apply(program, control.table(stmt.table))
-        then_fn = _compile_stmt(program, control, stmt.then)
-        else_fn = _compile_stmt(program, control, stmt.otherwise)
+        apply_fn = _compile_table_apply(
+            program, control.table(stmt.table), quantize_tcam
+        )
+        then_fn = _compile_stmt(program, control, stmt.then, quantize_tcam)
+        else_fn = _compile_stmt(
+            program, control, stmt.otherwise, quantize_tcam
+        )
 
         def run_if_hit(state):
             branch = then_fn if apply_fn(state) else else_fn
@@ -584,8 +616,10 @@ def control_stages(control: Control) -> list[Stmt]:
     return [body] if body is not None else []
 
 
-def _compile_deparser(program: P4Program):
-    emit_order = tuple(program.deparser.emit_order)
+def _compile_deparser(program: P4Program, field_budget: int | None = None):
+    # A deviant field budget restricts emission to the budgeted prefix;
+    # Deparser.emit_prefix is the single definition of that semantics.
+    emit_order = program.deparser.emit_prefix(program.env, field_budget)
     new_packet = Packet.__new__
 
     def deparse(packet: Packet) -> Packet:
@@ -612,32 +646,54 @@ def _compile_deparser(program: P4Program):
 
 
 class FastProgram:
-    """A program compiled to closures, ready for per-packet execution."""
+    """A program compiled to closures, ready for per-packet execution.
+
+    ``honor_reject`` / ``quantize_tcam`` / ``deparse_field_budget``
+    select the target's datapath semantics, including its silent
+    deviations; the defaults are the spec-faithful reference semantics.
+    """
 
     __slots__ = (
         "program",
         "honor_reject",
+        "quantize_tcam",
+        "deparse_field_budget",
         "parse",
         "ingress_stages",
         "egress_stages",
         "deparse",
     )
 
-    def __init__(self, program: P4Program, honor_reject: bool):
+    def __init__(
+        self,
+        program: P4Program,
+        honor_reject: bool,
+        quantize_tcam: bool = False,
+        deparse_field_budget: int | None = None,
+    ):
         self.program = program
         self.honor_reject = honor_reject
+        self.quantize_tcam = quantize_tcam
+        self.deparse_field_budget = deparse_field_budget
         self.parse = _compile_parser(program, honor_reject)
         self.ingress_stages = [
-            _compile_stmt(program, program.ingress, stmt)
+            _compile_stmt(program, program.ingress, stmt, quantize_tcam)
             for stmt in control_stages(program.ingress)
         ]
         self.egress_stages = [
-            _compile_stmt(program, program.egress, stmt)
+            _compile_stmt(program, program.egress, stmt, quantize_tcam)
             for stmt in control_stages(program.egress)
         ]
-        self.deparse = _compile_deparser(program)
+        self.deparse = _compile_deparser(program, deparse_field_budget)
 
 
-def compile_program(program: P4Program, honor_reject: bool = True) -> FastProgram:
+def compile_program(
+    program: P4Program,
+    honor_reject: bool = True,
+    quantize_tcam: bool = False,
+    deparse_field_budget: int | None = None,
+) -> FastProgram:
     """Compile ``program`` once for closure-based execution."""
-    return FastProgram(program, honor_reject)
+    return FastProgram(
+        program, honor_reject, quantize_tcam, deparse_field_budget
+    )

@@ -9,7 +9,11 @@ behaviour.
 
 The SDNet-like limits deliberately *claim* ``reject`` support: the
 datasheet says yes, the generated datapath says nothing and silently
-forwards — exactly the gap the paper's §4 case study uncovers.
+forwards — exactly the gap the paper's §4 case study uncovers. The
+Tofino-like limits play the same game on two different axes: the
+datasheet advertises full ternary/range matching and a long emit list,
+while the datapath quantizes TCAM patterns and truncates the deparser
+(:mod:`repro.target.tofino`).
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from dataclasses import dataclass, field
 
 from ..p4.table import MatchKind
 
-__all__ = ["ArchLimits", "REFERENCE_LIMITS", "SDNET_LIMITS"]
+__all__ = ["ArchLimits", "REFERENCE_LIMITS", "SDNET_LIMITS", "TOFINO_LIMITS"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +42,10 @@ class ArchLimits:
     supports_counters: bool = True
     supports_registers: bool = True
     supports_reject: bool = True
+    #: Per-stage TCAM budget in key bits, or ``None`` when the target
+    #: emulates ternary matching in general logic (no hard budget). A
+    #: table whose ternary/range key bits exceed this fails to compile.
+    tcam_bits_per_stage: int | None = None
     supported_match_kinds: frozenset = field(
         default_factory=lambda: frozenset(MatchKind)
     )
@@ -83,4 +91,28 @@ SDNET_LIMITS = ArchLimits(
     supported_match_kinds=frozenset(
         {MatchKind.EXACT, MatchKind.LPM, MatchKind.TERNARY}
     ),
+)
+
+#: The Tofino-like switch-ASIC target. A much deeper pipeline and wider,
+#: deeper tables than the FPGA targets, a fast clock on a narrow bus —
+#: but a *small per-stage TCAM*: a table may spend at most
+#: ``tcam_bits_per_stage`` key bits on ternary/range matching. The
+#: datasheet advertises all four match kinds and honest ``reject``
+#: support, and both claims are true — this backend's silent deviations
+#: live elsewhere (:mod:`repro.target.tofino`): TCAM patterns are
+#: quantized to power-of-two boundaries and the deparser truncates long
+#: emit lists at a field budget.
+TOFINO_LIMITS = ArchLimits(
+    name="tofino-sim",
+    clock_mhz=1000,
+    bus_bytes=16,
+    max_parser_states=128,
+    max_parse_depth=20,
+    max_tables=24,
+    max_table_size=131072,
+    max_key_bits=640,
+    max_pipeline_depth=24,
+    max_actions_per_table=32,
+    tcam_bits_per_stage=128,
+    supported_match_kinds=frozenset(MatchKind),
 )

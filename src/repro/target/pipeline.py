@@ -103,10 +103,19 @@ class TargetRun:
 
 class _FaultAwareInterpreter(Interpreter):
     """Tree-walking engine extended with stuck-table / frozen-counter
-    faults so both execution modes stay behaviourally identical."""
+    faults. The compiled artifact's silent target deviations (reject,
+    quantized TCAM, deparse field budget) are the base interpreter's
+    deviation knobs, so both execution modes stay behaviourally
+    identical by construction."""
 
-    def __init__(self, program, state, honor_reject, pipeline):
-        super().__init__(program, state=state, honor_reject=honor_reject)
+    def __init__(self, program, state, compiled, pipeline):
+        super().__init__(
+            program,
+            state=state,
+            honor_reject=compiled.honor_reject,
+            quantize_tcam=compiled.quantize_tcam,
+            deparse_field_budget=compiled.deparse_field_budget,
+        )
         self._pipeline = pipeline
 
     def apply_table(self, control, table_name, ctx, trace):
@@ -152,7 +161,7 @@ class StagedPipeline:
         self.use_compiled = use_compiled and compiled.fast is not None
         self._fast = compiled.fast
         self._interp = _FaultAwareInterpreter(
-            self.program, self.state, compiled.honor_reject, pipeline=self
+            self.program, self.state, compiled, pipeline=self
         )
         self._current_stuck: frozenset | set = _EMPTY_SET
         self._current_frozen: frozenset | set = _EMPTY_SET

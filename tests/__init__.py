@@ -1,0 +1,7 @@
+"""Test suite package.
+
+A package (not a bare directory) so shared test infrastructure —
+``tests.differential.harness`` — is importable under both the bare
+``pytest`` entry point and ``python -m pytest``: pytest puts the repo
+root on ``sys.path`` for package-rooted test modules.
+"""

@@ -1,0 +1,6 @@
+"""Cross-backend differential test harness package.
+
+``harness`` is importable test *infrastructure* (no ``test_`` prefix, so
+pytest never collects it as a suite); the ``test_*`` modules alongside
+drive it.
+"""

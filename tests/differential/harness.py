@@ -1,0 +1,186 @@
+"""The cross-backend differential test harness.
+
+Reusable infrastructure for driving seeded randomized packet batches
+through every registered backend (reference / SDNet-like / Tofino-like)
+per program and asserting the paper's central contract: **every**
+observed divergence from the spec oracle must be exactly explained by
+the deviant artifact's declared ground-truth deviation tags — and a
+spec-faithful backend must produce none at all.
+
+The heavy lifting (deviant oracles, diff classification, canonical
+reports) lives in :mod:`repro.netdebug.differential`; this module adds
+the test-facing pieces:
+
+* a default case matrix covering all three known deviation mechanisms
+  (parser reject, TCAM quantization, deparse truncation) plus a custom
+  RANGE-match program the stdlib does not carry;
+* provisioners that install *identical* table state on every target, so
+  any divergence is the toolchain's fault, not configuration skew;
+* :func:`run_harness` / :func:`assert_consistent` — the entry points
+  test modules, benchmarks and CI smoke jobs share.
+"""
+
+from __future__ import annotations
+
+from repro.netdebug.campaign import provision_acl_gate
+from repro.netdebug.differential import (
+    DifferentialCase,
+    DifferentialReport,
+    DifferentialRunner,
+    diagnose_report,
+)
+from repro.p4.actions import Drop, Forward
+from repro.p4.control import ApplyTable, Call, If
+from repro.p4.dsl import ProgramBuilder
+from repro.p4.expr import Const, IsValid, fld
+from repro.p4.program import P4Program
+from repro.p4.table import MatchKind
+from repro.packet.headers import (
+    ETHERNET,
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    IPV4,
+    UDP,
+    ipv4,
+    mac,
+)
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "range_gate",
+    "provision_range_gate",
+    "provision_router",
+    "default_cases",
+    "run_harness",
+    "assert_consistent",
+]
+
+DEFAULT_TARGETS = ("reference", "sdnet", "tofino")
+
+#: The RANGE entry installed by :func:`provision_range_gate`: spec
+#: semantics admit exactly [5001, 5006]; a power-of-two TCAM expansion
+#: widens it to [5000, 5007], so ports 5000 and 5007 are the
+#: quantization witnesses.
+RANGE_GATE_LOW, RANGE_GATE_HIGH = 5001, 5006
+
+
+def range_gate() -> P4Program:
+    """A UDP port-range gate — the stdlib has no RANGE-match program.
+
+    Admits UDP datagrams whose destination port lies in an installed
+    range; everything else is dropped. RANGE keys do not build on the
+    SDNet-like target (a *loud* CompileError, the honest outcome), and
+    are silently quantized on the Tofino-like target (the deviation the
+    harness must catch and explain).
+    """
+    b = ProgramBuilder("range_gate")
+    b.header(ETHERNET)
+    b.header(IPV4)
+    b.header(UDP)
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(ETHERTYPE_IPV4, "parse_ipv4")],
+        default="done",
+    )
+    b.parser_state("parse_ipv4", extracts=["ipv4"]).select(
+        fld("ipv4", "protocol"),
+        [(IPPROTO_UDP, "parse_udp")],
+        default="done",
+    )
+    b.parser_state("parse_udp", extracts=["udp"]).accept()
+    b.parser_state("done").accept()
+
+    gate = b.ingress.table("gate")
+    gate.key(fld("udp", "dst_port"), MatchKind.RANGE, "dport")
+    gate.action("admit", [], [Forward(Const(3, 9))])
+    gate.action("drop_packet", [], [Drop()])
+    gate.default("drop_packet").size(16)
+
+    b.ingress.stmt(
+        If(IsValid("udp"), ApplyTable("gate"), Call("drop_other"))
+    )
+    b.ingress.action("drop_other", [], [Drop()])
+
+    b.emit("ethernet", "ipv4", "udp")
+    return b.build()
+
+
+def provision_range_gate(device) -> None:
+    """Admit UDP ports [5001, 5006] — identically on every target."""
+    device.control_plane.table_add(
+        "gate", "admit", [(RANGE_GATE_LOW, RANGE_GATE_HIGH)], []
+    )
+
+
+def provision_router(device) -> None:
+    """One /16 route covering the harness flows — identically everywhere."""
+    device.control_plane.table_add(
+        "ipv4_lpm",
+        "route",
+        [(ipv4("10.1.0.0"), 16)],
+        [mac("aa:bb:cc:dd:ee:01"), 1],
+    )
+
+
+def default_cases() -> list[DifferentialCase]:
+    """The standard case matrix: every known deviation has a witness.
+
+    * ``strict_parser`` — trips the SDNet reject leak *and* the Tofino
+      deparse budget.
+    * ``l2_switch`` — deviates nowhere; the all-targets-agree control.
+    * ``ipv4_router`` — reject leak via ``verify`` plus deparse budget,
+      through real LPM forwarding state.
+    * ``acl_firewall`` — ternary TCAM quantization (the ``acl_gate``
+      mask has no leading care-bit run).
+    * ``range_gate`` — RANGE quantization on Tofino, loud compile
+      rejection on SDNet.
+    """
+    return [
+        DifferentialCase("strict_parser"),
+        DifferentialCase("l2_switch"),
+        DifferentialCase("ipv4_router", provision=provision_router),
+        DifferentialCase("acl_firewall", provision=provision_acl_gate),
+        DifferentialCase(range_gate, provision=provision_range_gate),
+    ]
+
+
+def run_harness(
+    count: int = 64,
+    seed: int = 0,
+    cases=None,
+    targets=DEFAULT_TARGETS,
+) -> DifferentialReport:
+    """Run the differential matrix once and return its report."""
+    return DifferentialRunner(
+        cases=default_cases() if cases is None else cases,
+        targets=targets,
+        count=count,
+        seed=seed,
+    ).run()
+
+
+def assert_consistent(report: DifferentialReport) -> None:
+    """Fail loudly unless every divergence is explained by declared tags.
+
+    On failure the assertion message carries the full matrix summary
+    plus the per-backend stage diagnosis, so a CI log alone answers
+    *which* backend deviated, *where*, and *why*.
+    """
+    if report.consistent:
+        return
+    details = [report.summary(), ""]
+    details.extend(diagnose_report(report))
+    for cell in report.cells:
+        for diff in cell.unexplained:
+            details.append(
+                f"UNEXPLAINED: {cell.program} on {cell.target} packet "
+                f"{diff.index}: spec={diff.spec.verdict} "
+                f"observed={diff.observed.verdict} kinds={diff.kinds}"
+            )
+        if cell.model_mismatches:
+            details.append(
+                f"MODEL MISMATCH: {cell.program} on {cell.target} packets "
+                f"{cell.model_mismatches} — datapath disagrees with its "
+                "own declared deviation model"
+            )
+    raise AssertionError("\n".join(details))

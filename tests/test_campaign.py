@@ -5,20 +5,23 @@ import json
 
 import pytest
 
-from repro.exceptions import NetDebugError, TargetError
+from repro.exceptions import NetDebugError, TargetError, UnknownTargetError
 from repro.netdebug.campaign import (
     CampaignReport,
     PROVISIONERS,
     Scenario,
     ScenarioMatrix,
     ScenarioResult,
+    TARGETS,
     record_campaign,
     replay_campaign,
+    require_known_target,
     run_campaign,
 )
 from repro.netdebug.controller import NetDebugController
+from repro.netdebug.localization import explain_findings
 from repro.netdebug.report import Capability
-from repro.p4.stdlib import ipv4_router, strict_parser
+from repro.p4.stdlib import PROGRAMS, ipv4_router, strict_parser
 from repro.target.faults import Fault, FaultKind
 from repro.target.reference import ReferenceCompiler, make_reference_device
 from repro.target.sdnet import make_sdnet_device
@@ -65,7 +68,7 @@ class TestMatrix:
         "overrides",
         [
             {"programs": ["no_such_program"]},
-            {"targets": ["tofino"]},
+            {"targets": ["bmv2"]},
             {"workloads": ["voip"]},
             {"programs": []},
             {"count": 0},
@@ -75,6 +78,19 @@ class TestMatrix:
     def test_invalid_matrix_rejected(self, overrides):
         with pytest.raises(NetDebugError):
             tiny_matrix(**overrides).expand()
+
+    def test_registry_is_three_way(self):
+        assert set(TARGETS) == {"reference", "sdnet", "tofino"}
+
+    def test_unknown_target_error_carries_known_list(self):
+        with pytest.raises(UnknownTargetError) as excinfo:
+            tiny_matrix(targets=["bmv2"]).expand()
+        message = str(excinfo.value)
+        for target in sorted(TARGETS):
+            assert target in message
+        # The single choke point both error paths share.
+        with pytest.raises(UnknownTargetError, match="reference"):
+            require_known_target("bmv2", "somewhere")
 
 
 class TestRunCampaign:
@@ -234,6 +250,87 @@ class TestRecordReplay:
     def test_replay_without_manifest_rejected(self, tmp_path):
         with pytest.raises(NetDebugError):
             replay_campaign(tmp_path, name="missing")
+
+    def test_replay_unknown_target_manifest_rejected(self, tmp_path):
+        record_campaign(tiny_matrix(), tmp_path, name="skewed")
+        manifest = tmp_path / "skewed.manifest.json"
+        payload = json.loads(manifest.read_text())
+        payload["scenarios"][0]["target"] = "bmv2"
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(UnknownTargetError) as excinfo:
+            replay_campaign(tmp_path, name="skewed")
+        assert "scenario 0" in str(excinfo.value)
+        assert "tofino" in str(excinfo.value)  # lists known targets
+
+
+class TestThreeWayMatrix:
+    """The (program × target) axis with the Tofino-like third backend."""
+
+    def three_way_matrix(self, count=8, **overrides) -> ScenarioMatrix:
+        base = dict(
+            programs=["strict_parser", "acl_firewall"],
+            targets=["reference", "sdnet", "tofino"],
+            faults={"baseline": ()},
+            workloads=["udp", "malformed"],
+            count=count,
+            seed=7,
+            setup="acl_gate",
+        )
+        base.update(overrides)
+        return ScenarioMatrix(**base)
+
+    def test_per_target_verdicts_split_on_two_programs(self):
+        report = run_campaign(self.three_way_matrix(), name="3way")
+        verdicts = {
+            (r.scenario.program, r.scenario.target, r.scenario.workload):
+                r.passed
+            for r in report.results
+        }
+        # strict_parser: tofino truncates the deparse on valid traffic,
+        # sdnet leaks rejects on malformed traffic, reference is clean.
+        assert verdicts[("strict_parser", "reference", "udp")]
+        assert verdicts[("strict_parser", "sdnet", "udp")]
+        assert not verdicts[("strict_parser", "tofino", "udp")]
+        assert verdicts[("strict_parser", "reference", "malformed")]
+        assert not verdicts[("strict_parser", "sdnet", "malformed")]
+        # acl_firewall: only tofino's quantized TCAM denies the traffic
+        # the spec admits.
+        assert verdicts[("acl_firewall", "reference", "udp")]
+        assert verdicts[("acl_firewall", "sdnet", "udp")]
+        assert not verdicts[("acl_firewall", "tofino", "udp")]
+
+    def test_failures_fully_explained_by_declared_tags(self):
+        report = run_campaign(self.three_way_matrix(), name="3way-explain")
+        for result in report.results:
+            if result.passed:
+                continue
+            device = TARGETS[result.scenario.target]("explain")
+            compiled = device.load(PROGRAMS[result.scenario.program]())
+            kinds = {f.kind for f in result.report.findings}
+            explanations = explain_findings(compiled, kinds)
+            for kind, diagnoses in explanations.items():
+                assert diagnoses, (
+                    f"{result.scenario.key}: finding kind {kind!r} not "
+                    f"explained by {compiled.silent_deviations}"
+                )
+
+    def test_three_way_determinism_one_vs_four_workers(self):
+        matrix = self.three_way_matrix(count=5)
+        serial = run_campaign(matrix, workers=1, name="det3")
+        parallel = run_campaign(matrix, workers=4, name="det3")
+        assert serial.to_json() == parallel.to_json()
+        assert serial.scenarios == 2 * 3 * 1 * 2
+
+    def test_three_way_record_replay_round_trip(self, tmp_path):
+        matrix = self.three_way_matrix(count=6)
+        recorded = record_campaign(matrix, tmp_path, name="gold3")
+        replayed = replay_campaign(tmp_path, name="gold3", workers=2)
+        assert replayed.scenarios == recorded.scenarios
+        assert [r.verdict for r in replayed.results] == [
+            r.verdict for r in recorded.results
+        ]
+        # The deviant cells stay deviant through the artifact round trip.
+        assert not replayed.passed
 
 
 class TestCampaignReport:
