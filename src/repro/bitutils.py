@@ -8,6 +8,7 @@ ints.
 
 from __future__ import annotations
 
+import hashlib
 from functools import lru_cache
 
 from .exceptions import PacketError
@@ -29,6 +30,7 @@ __all__ = [
     "ones_complement_sum",
     "popcount",
     "reverse_bits",
+    "stable_hash64",
     "hexdump",
     "quantize_ternary_mask",
     "quantize_range",
@@ -254,6 +256,18 @@ def quantize_range(low: int, high: int, width: int) -> tuple[int, int]:
             return start, start + block - 1
         block <<= 1
     return 0, top
+
+
+def stable_hash64(text: str) -> int:
+    """A process- and version-stable 64-bit hash of ``text``.
+
+    Unlike the builtin ``hash`` (salted per process), this is safe to
+    derive persistent identities from — scenario seeds, flow indices —
+    where a collision would silently alias two workloads. 64 bits keeps
+    the birthday probability negligible at any plausible matrix size.
+    """
+    digest = hashlib.blake2s(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 def hexdump(data: bytes, width: int = 16) -> str:

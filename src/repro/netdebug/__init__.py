@@ -79,3 +79,30 @@ __all__ = [
     "record_campaign",
     "replay_campaign",
 ]
+
+#: Lazily re-exported from :mod:`.diffing` (PEP 562): the differ doubles
+#: as a CLI (``python -m repro.netdebug.diffing``), and an eager import
+#: here would make runpy warn about the module already being loaded.
+#: ``__all__`` is extended from this set so the two cannot drift.
+_DIFFING_EXPORTS = frozenset(
+    {
+        "CampaignDiff",
+        "ScenarioDelta",
+        "CellDelta",
+        "MatrixDiff",
+        "diff_campaigns",
+        "diff_differentials",
+        "write_baselines",
+    }
+)
+__all__ += sorted(_DIFFING_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _DIFFING_EXPORTS:
+        from . import diffing
+
+        return getattr(diffing, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

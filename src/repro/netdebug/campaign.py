@@ -39,6 +39,7 @@ from dataclasses import dataclass, field as dc_field
 from pathlib import Path
 from typing import Callable
 
+from ..bitutils import stable_hash64
 from ..exceptions import NetDebugError, UnknownTargetError
 from ..p4.stdlib import PROGRAMS
 from ..p4.program import P4Program
@@ -52,7 +53,7 @@ from ..target.sdnet import make_sdnet_device
 from ..target.tofino import make_tofino_device
 from .generator import StreamSpec
 from .regression import RegressionSuite, replay_suite
-from .report import Capability, SessionReport
+from .report import Capability, CanonicalJsonReport, SessionReport
 from .session import ValidationSession, reference_expectation, run_session
 
 __all__ = [
@@ -60,6 +61,7 @@ __all__ = [
     "PROVISIONERS",
     "require_known_target",
     "require_known_program",
+    "scenario_key",
     "provision_acl_gate",
     "Scenario",
     "ScenarioMatrix",
@@ -105,6 +107,16 @@ def require_known_program(program: str, where: str) -> None:
             f"{where} references unknown program {program!r}; "
             f"stdlib offers: {known}"
         )
+
+def scenario_key(
+    program: str, target: str, fault: str, workload: str
+) -> str:
+    """The stable scenario identity — the ONE definition shared by
+    :attr:`Scenario.key`, seed derivation and the cross-version differ,
+    so they cannot drift apart (a drift would silently shift every
+    scenario seed and break the committed golden baselines)."""
+    return f"{program}/{target}/{fault}/{workload}"
+
 
 def provision_acl_gate(device: NetworkDevice) -> None:
     """Built-in ``acl_firewall`` setup for 3-way differential sweeps.
@@ -163,8 +175,8 @@ class Scenario:
     @property
     def key(self) -> str:
         """Stable human-readable scenario identity."""
-        return (
-            f"{self.program}/{self.target}/{self.fault}/{self.workload}"
+        return scenario_key(
+            self.program, self.target, self.fault, self.workload
         )
 
 
@@ -176,8 +188,11 @@ class ScenarioMatrix:
     (``()`` for a fault-free baseline); fault predicates must be
     picklable (module-level functions or ``None``) for worker pools.
     ``count`` is packets per scenario; every scenario derives its own
-    seed from ``seed`` and its index, so workloads differ across cells
-    but are reproducible.
+    seed from ``seed`` and its *key* (not its matrix position), so
+    workloads differ across cells but are reproducible — and stay
+    identical for a given scenario when the matrix grows, which is what
+    lets the cross-version differ report added/removed scenarios
+    instead of seeing every seed shift.
     """
 
     programs: list[str] = dc_field(default_factory=lambda: ["strict_parser"])
@@ -199,6 +214,19 @@ class ScenarioMatrix:
             )
         if self.count <= 0:
             raise NetDebugError("scenario matrix count must be positive")
+        for axis, values in (
+            ("programs", self.programs),
+            ("targets", self.targets),
+            ("workloads", self.workloads),
+        ):
+            if len(set(values)) != len(values):
+                # Key-derived seeds make duplicates byte-identical
+                # scenarios with colliding keys; reject at the matrix,
+                # not downstream in the differ.
+                raise NetDebugError(
+                    f"scenario matrix {axis} contains duplicates: "
+                    f"{values}"
+                )
         for program in self.programs:
             require_known_program(program, "scenario matrix")
         for target in self.targets:
@@ -224,6 +252,9 @@ class ScenarioMatrix:
             for target in self.targets:
                 for fault_label in self.faults:
                     for workload in self.workloads:
+                        key = scenario_key(
+                            program, target, fault_label, workload
+                        )
                         scenarios.append(
                             Scenario(
                                 index=index,
@@ -232,7 +263,15 @@ class ScenarioMatrix:
                                 fault=fault_label,
                                 workload=workload,
                                 count=self.count,
-                                seed=self.seed * 1_000_003 + index,
+                                # Mixing the base seed INTO the hash
+                                # (rather than shifting it above)
+                                # keeps every serialized seed within
+                                # JSON's interoperable 2^53 range, so
+                                # double-based tooling cannot silently
+                                # corrupt a baseline.
+                                seed=stable_hash64(
+                                    f"{self.seed}:{key}"
+                                ) % (1 << 53),
                                 setup=self.setup,
                             )
                         )
@@ -301,9 +340,14 @@ def _run_shard(job: tuple) -> "ScenarioResult":
     for fault in faults:
         device.injector.inject(fault)
 
+    # Flow AND seed derive from the scenario key, never its matrix
+    # position: growing the matrix must leave pre-existing scenarios'
+    # traffic byte-identical or cross-version diffs would churn. The
+    # flow index is bounded to 0..7 so flows stay inside provisioner
+    # coverage (routes, ACL port patterns).
     bundle = build_workload(
         scenario.workload,
-        default_flow(scenario.index),
+        default_flow(stable_hash64(scenario.key) % 8),
         scenario.count,
         seed=scenario.seed,
     )
@@ -442,13 +486,14 @@ class ScenarioResult:
 
 
 @dataclass
-class CampaignReport:
+class CampaignReport(CanonicalJsonReport):
     """Aggregate outcome of one campaign run.
 
     ``to_json`` is canonical (sorted keys, fixed separators, scenario
     order): two runs of the same matrix — serial or parallel — produce
     byte-identical output, which is what the determinism tests and the
-    regression-diff workflow key on.
+    regression-diff workflow key on; ``from_json`` is its exact inverse
+    (see :class:`~repro.netdebug.report.CanonicalJsonReport`).
     """
 
     name: str
@@ -524,12 +569,6 @@ class CampaignReport:
             ],
         }
 
-    def to_json(self) -> str:
-        """Canonical byte-stable JSON rendering."""
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
-
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignReport":
         return cls(
@@ -538,15 +577,6 @@ class CampaignReport:
                 ScenarioResult.from_dict(r) for r in data["results"]
             ],
         )
-
-    def save(self, path: str | Path) -> Path:
-        path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        return path
-
-    @classmethod
-    def load(cls, path: str | Path) -> "CampaignReport":
-        return cls.from_dict(json.loads(Path(path).read_text()))
 
     def summary(self) -> str:
         """Human-readable campaign table."""

@@ -26,17 +26,23 @@ different ways, this module makes that claim executable:
 
 The resulting :class:`DifferentialReport` serializes canonically
 (:meth:`DifferentialReport.to_json`), so byte-identical re-runs for the
-same seed are a testable property.
+same seed are a testable property, and **losslessly**
+(:meth:`DifferentialReport.from_json` rebuilds a report whose
+``to_json`` is byte-identical to its source) — the contract the
+cross-version campaign differ (:mod:`repro.netdebug.diffing`) and the
+committed golden baselines depend on.
 """
 
 from __future__ import annotations
 
-import json
 import random
 from dataclasses import dataclass, field as dc_field
 from typing import Callable
 
+from ..bitutils import stable_hash64
+
 from ..exceptions import CompileError, NetDebugError
+from .report import CanonicalJsonReport
 from ..p4.interpreter import Interpreter, Verdict
 from ..p4.program import P4Program
 from ..p4.stdlib import PROGRAMS
@@ -125,6 +131,21 @@ class Observation:
                 kinds.append("wire")
         return tuple(kinds)
 
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "egress": self.egress,
+            "wire": self.wire,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Observation":
+        return cls(
+            verdict=data["verdict"],
+            egress=data.get("egress"),
+            wire=data.get("wire"),
+        )
+
 
 def seeded_batch(
     flow: FlowSpec, count: int, seed: int, malformed_fraction: float = 0.3
@@ -194,6 +215,25 @@ class PacketDiff:
     def explained(self) -> bool:
         return bool(self.explained_by)
 
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kinds": list(self.kinds),
+            "spec": self.spec.to_dict(),
+            "observed": self.observed.to_dict(),
+            "explained_by": list(self.explained_by),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PacketDiff":
+        return cls(
+            index=data["index"],
+            kinds=tuple(data["kinds"]),
+            spec=Observation.from_dict(data["spec"]),
+            observed=Observation.from_dict(data["observed"]),
+            explained_by=tuple(data.get("explained_by", ())),
+        )
+
 
 @dataclass(frozen=True)
 class DifferentialCase:
@@ -213,6 +253,13 @@ class DifferentialCase:
     def name(self) -> str:
         if self.label:
             return self.label
+        return self.program_name
+
+    @property
+    def program_name(self) -> str:
+        """The underlying program's identity, independent of ``label``
+        — what campaign scenarios carry, so cross-version diffing can
+        match a labeled cell back to the campaign cells it explains."""
         if isinstance(self.program, str):
             return self.program
         return self.program.__name__
@@ -228,12 +275,20 @@ class DifferentialCase:
 
 @dataclass
 class DifferentialCell:
-    """One (program × target) cell of the differential matrix."""
+    """One (program × target) cell of the differential matrix.
+
+    ``program`` is the case *name* (label-aware, unique per case);
+    ``program_name`` is the underlying program's identity — empty means
+    the two coincide. The campaign differ excuses verdict flips against
+    ``program_name``, so a labeled case still explains the program's
+    campaign cells.
+    """
 
     program: str
     target: str
     packets: int = 0
     compile_rejected: str = ""  # loud CompileError text, if any
+    program_name: str = ""
     deviation_tags: tuple[str, ...] = ()
     diffs: list[PacketDiff] = dc_field(default_factory=list)
     #: Frames where the artifact's own deviant model failed to predict
@@ -257,31 +312,48 @@ class DifferentialCell:
         return dict(sorted(counts.items()))
 
     def to_dict(self) -> dict:
+        """Lossless dump: the full diff list travels, so
+        :meth:`from_dict` reconstructs a cell whose own ``to_dict`` is
+        identical — the derived fields (``diffs_by_tag``,
+        ``unexplained``, ``consistent``) are recomputed, not stored
+        authoritatively."""
         return {
             "program": self.program,
             "target": self.target,
             "packets": self.packets,
             "compile_rejected": self.compile_rejected,
+            "program_name": self.program_name,
             "deviation_tags": list(self.deviation_tags),
-            "diffs": len(self.diffs),
+            "diffs": [diff.to_dict() for diff in self.diffs],
             "diffs_by_tag": self.diffs_by_tag(),
-            "unexplained": [
-                {
-                    "index": diff.index,
-                    "kinds": list(diff.kinds),
-                    "spec": diff.spec.verdict,
-                    "observed": diff.observed.verdict,
-                }
-                for diff in self.unexplained
-            ],
+            "unexplained": len(self.unexplained),
             "model_mismatches": list(self.model_mismatches),
             "consistent": self.consistent,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "DifferentialCell":
+        return cls(
+            program=data["program"],
+            target=data["target"],
+            packets=data.get("packets", 0),
+            compile_rejected=data.get("compile_rejected", ""),
+            program_name=data.get("program_name", ""),
+            deviation_tags=tuple(data.get("deviation_tags", ())),
+            diffs=[
+                PacketDiff.from_dict(d) for d in data.get("diffs", [])
+            ],
+            model_mismatches=list(data.get("model_mismatches", [])),
+        )
+
 
 @dataclass
-class DifferentialReport:
-    """The full (program × target) differential matrix outcome."""
+class DifferentialReport(CanonicalJsonReport):
+    """The full (program × target) differential matrix outcome.
+
+    Serializes canonically and losslessly via
+    :class:`~repro.netdebug.report.CanonicalJsonReport` — the
+    seed-determinism contract and the golden-baseline round trip."""
 
     seed: int
     count: int
@@ -310,10 +382,15 @@ class DifferentialReport:
             "cells": [cell.to_dict() for cell in self.cells],
         }
 
-    def to_json(self) -> str:
-        """Canonical byte-stable rendering (seed-determinism contract)."""
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
+    @classmethod
+    def from_dict(cls, data: dict) -> "DifferentialReport":
+        return cls(
+            seed=data["seed"],
+            count=data["count"],
+            cells=[
+                DifferentialCell.from_dict(c)
+                for c in data.get("cells", [])
+            ],
         )
 
     def summary(self) -> str:
@@ -356,26 +433,66 @@ class DifferentialRunner:
             else DifferentialCase(case)
             for case in cases
         ]
+        names = [case.name for case in self.cases]
+        if len(set(names)) != len(names):
+            # Name-derived seeds/flows make duplicate names literal
+            # clones, and report.cell() could only ever surface the
+            # first — reject at the source, like ScenarioMatrix does
+            # for its axes.
+            raise NetDebugError(
+                f"differential cases carry duplicate names: {names}; "
+                "give duplicate programs distinct labels"
+            )
         self.targets = tuple(targets)
+        # Same rigor as the case axis: duplicates clone cells the
+        # report can never disambiguate, and an unknown target should
+        # fail here, not mid-run after earlier columns completed.
+        if len(set(self.targets)) != len(self.targets):
+            raise NetDebugError(
+                "differential targets carry duplicates: "
+                f"{list(self.targets)}"
+            )
+        from .campaign import require_known_target
+
+        for target in self.targets:
+            require_known_target(target, "differential runner")
         self.count = count
         self.seed = seed
 
     def run(self) -> DifferentialReport:
         # Imported here: campaign imports nothing from this module, but
         # keeping the registry import local avoids any future cycle.
-        from .campaign import TARGETS, require_known_target
+        from .campaign import TARGETS
 
         report = DifferentialReport(seed=self.seed, count=self.count)
-        for case_index, case in enumerate(self.cases):
+        for case in self.cases:
+            # Per-case seed AND flow derive from the case NAME, not its
+            # list position: growing or reordering the case list leaves
+            # existing cases' batches untouched, so cross-version matrix
+            # diffs see added cells instead of every shared cell
+            # churning. The flow index is bounded to 0..7 so flows stay
+            # inside the provisioners' coverage (the 10.1.0.0/16 route,
+            # the ±8 destination-port jitter that probes both range-gate
+            # quantization witnesses). The base seed is mixed INTO the
+            # hash (not shifted above it) so seeds stay within JSON's
+            # interoperable 2^53 range.
             frames = seeded_batch(
-                default_flow(case_index),
+                default_flow(stable_hash64(case.name) % 8),
                 self.count,
-                seed=self.seed * 1_000_003 + case_index,
+                seed=stable_hash64(
+                    f"{self.seed}:{case.name}"
+                ) % (1 << 53),
             )
             for target in self.targets:
-                require_known_target(target, "differential runner")
                 device = TARGETS[target](f"diff-{target}-{case.name}")
-                cell = DifferentialCell(program=case.name, target=target)
+                cell = DifferentialCell(
+                    program=case.name,
+                    target=target,
+                    program_name=(
+                        case.program_name
+                        if case.program_name != case.name else ""
+                    ),
+                )
                 report.cells.append(cell)
                 try:
                     compiled = device.load(case.build())

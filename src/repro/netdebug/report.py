@@ -7,18 +7,57 @@ and an overall session verdict with a printable summary.
 
 from __future__ import annotations
 
+import json
 import statistics
 from dataclasses import dataclass, field
 from enum import Enum
+from pathlib import Path
 
 __all__ = [
     "Capability",
+    "CanonicalJsonReport",
     "CheckOutcome",
     "Finding",
     "StreamStats",
     "LatencyStats",
     "SessionReport",
 ]
+
+
+class CanonicalJsonReport:
+    """Canonical JSON serialization shared by the report classes.
+
+    Mixin for dataclasses exposing ``to_dict``/``from_dict``. Provides
+    the byte-stable rendering (``to_json``: sorted keys, fixed
+    separators — two identical runs produce identical bytes), its exact
+    inverse (``from_json(x).to_json() == x``, the contract the
+    cross-version differ and the committed golden baselines rely on),
+    and the pretty on-disk round trip (``save``/``load``). One
+    definition keeps every baseline file's format in lockstep.
+    """
+
+    def to_dict(self) -> dict:  # pragma: no cover - subclass contract
+        raise NotImplementedError
+
+    def to_json(self) -> str:
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_json(cls, text: str):
+        return cls.from_dict(json.loads(text))  # type: ignore[attr-defined]
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path):
+        return cls.from_dict(  # type: ignore[attr-defined]
+            json.loads(Path(path).read_text())
+        )
 
 
 class Capability(str, Enum):

@@ -36,7 +36,7 @@ from ...p4.program import P4Program
 from ...p4.stdlib import acl_firewall, strict_parser
 from ...p4.table import MatchKind
 from ...packet.fields import HeaderSpec
-from ...target.limits import SDNET_LIMITS, TOFINO_LIMITS
+from ...target.limits import REFERENCE_LIMITS, SDNET_LIMITS, TOFINO_LIMITS
 from ...target.reference import ReferenceCompiler
 from ...target.sdnet import SDNetCompiler, make_sdnet_device
 from ...target.tofino import TofinoCompiler
@@ -235,16 +235,18 @@ def run(tool: str, seed: int = 0) -> UseCaseResult:
             and all(tofino_kinds.values())
             and tcam_budget == TOFINO_LIMITS.tcam_bits_per_stage
         )
+        # Keyed on the same ArchLimits .name constants the probe uses,
+        # so a limits rename cannot silently zero this challenge.
         deviations = probe_backend_deviations()
         deviations_ok = (
-            deviations.get("reference") == {}
-            and deviations.get("sdnet-sume", {}).get(
+            deviations.get(REFERENCE_LIMITS.name) == {}
+            and deviations.get(SDNET_LIMITS.name, {}).get(
                 "parser-reject-not-implemented"
             ) == "parser"
-            and deviations.get("tofino-sim", {}).get(
+            and deviations.get(TOFINO_LIMITS.name, {}).get(
                 "ternary-range-quantized-pow2"
             ) == "ingress"
-            and deviations.get("tofino-sim", {}).get(
+            and deviations.get(TOFINO_LIMITS.name, {}).get(
                 "deparse-field-budget-exceeded"
             ) == "deparser"
         )

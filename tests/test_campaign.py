@@ -64,6 +64,24 @@ class TestMatrix:
         assert seeds_a == seeds_b
         assert len(set(seeds_a)) == len(seeds_a)
 
+    def test_scenario_seeds_stable_under_matrix_growth(self):
+        # Seeds key on the scenario identity, not its matrix position:
+        # growing an axis must not shift the workloads of pre-existing
+        # scenarios, or cross-version diffs would see every cell churn.
+        small = {
+            s.key: s.seed
+            for s in tiny_matrix(workloads=["udp", "malformed"]).expand()
+        }
+        grown = {
+            s.key: s.seed
+            for s in tiny_matrix(
+                programs=["strict_parser", "l2_switch"],
+                workloads=["udp", "imix", "malformed"],
+            ).expand()
+        }
+        for key, seed in small.items():
+            assert grown[key] == seed
+
     @pytest.mark.parametrize(
         "overrides",
         [
@@ -73,6 +91,9 @@ class TestMatrix:
             {"programs": []},
             {"count": 0},
             {"setup": "no_such_setup"},
+            {"programs": ["strict_parser", "strict_parser"]},
+            {"targets": ["reference", "reference"]},
+            {"workloads": ["udp", "udp"]},
         ],
     )
     def test_invalid_matrix_rejected(self, overrides):
@@ -339,6 +360,18 @@ class TestCampaignReport:
         path = report.save(tmp_path / "campaign.json")
         loaded = CampaignReport.load(path)
         assert loaded.to_json() == report.to_json()
+
+    @pytest.mark.parametrize("seed", [0, 7, 2018])
+    def test_from_json_reconstructs_byte_identical_json(self, seed):
+        # The differ's contract: to_json(from_json(x)) == x, across
+        # passing, failing and deviant-target campaigns.
+        matrix = tiny_matrix(
+            targets=["reference", "sdnet", "tofino"],
+            workloads=["udp", "malformed"],
+            seed=seed,
+        )
+        text = run_campaign(matrix, name=f"rt{seed}").to_json()
+        assert CampaignReport.from_json(text).to_json() == text
 
     def test_summary_and_aggregates(self):
         matrix = tiny_matrix(

@@ -16,6 +16,7 @@ import pytest
 from repro.netdebug.campaign import TARGETS, provision_acl_gate
 from repro.netdebug.differential import (
     DifferentialCase,
+    DifferentialReport,
     DifferentialRunner,
     seeded_batch,
 )
@@ -130,3 +131,70 @@ class TestSeedDeterminism:
         other = run_matrix(seed=1234)
         assert other.consistent
         assert other.to_json() != run_matrix(seed=42).to_json()
+
+
+class TestDuplicateCaseNames:
+    def test_duplicate_case_names_rejected_at_construction(self):
+        from repro.exceptions import NetDebugError
+
+        with pytest.raises(NetDebugError, match="duplicate names"):
+            DifferentialRunner(
+                cases=[
+                    DifferentialCase("strict_parser"),
+                    DifferentialCase("l2_switch", label="strict_parser"),
+                ]
+            )
+
+    def test_distinct_labels_for_one_program_accepted(self):
+        runner = DifferentialRunner(
+            cases=[
+                DifferentialCase("acl_firewall", label="acl-bare"),
+                DifferentialCase("acl_firewall", label="acl-gated"),
+            ]
+        )
+        assert [case.name for case in runner.cases] == [
+            "acl-bare", "acl-gated"
+        ]
+
+
+class TestCaseOrderIndependence:
+    def test_cell_results_stable_under_case_reordering(self):
+        # Batches key on the case NAME (seed and flow), so reordering
+        # or growing the case list leaves existing cells' results
+        # byte-identical — the invariant cross-version matrix diffing
+        # relies on to report added cells instead of universal churn.
+        def run(cases):
+            return DifferentialRunner(
+                cases=cases, targets=ALL_TARGETS, count=24, seed=5
+            ).run()
+
+        forward = run(
+            [DifferentialCase("strict_parser"),
+             DifferentialCase("l2_switch")]
+        )
+        reordered = run(
+            [DifferentialCase("l2_switch"),
+             DifferentialCase("strict_parser")]
+        )
+        for cell in forward.cells:
+            twin = reordered.cell(cell.program, cell.target)
+            assert cell.to_dict() == twin.to_dict()
+
+
+class TestRoundTrip:
+    def test_from_json_reconstructs_byte_identical_json(self, report):
+        # The cross-version differ consumes serialized reports, so the
+        # round trip must be lossless down to the bytes — including the
+        # full per-packet diff lists and their wire evidence.
+        text = report.to_json()
+        rebuilt = DifferentialReport.from_json(text)
+        assert rebuilt.to_json() == text
+
+    def test_round_trip_preserves_diff_structure(self, report):
+        rebuilt = DifferentialReport.from_json(report.to_json())
+        for cell, twin in zip(report.cells, rebuilt.cells):
+            assert cell.diffs_by_tag() == twin.diffs_by_tag()
+            assert cell.consistent == twin.consistent
+            assert len(cell.unexplained) == len(twin.unexplained)
+            for diff, diff_twin in zip(cell.diffs, twin.diffs):
+                assert diff == diff_twin
