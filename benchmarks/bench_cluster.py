@@ -1,0 +1,118 @@
+"""EXP-CLUSTER — distributed campaign execution with streaming ingest.
+
+The scaling experiment behind the cluster subsystem, on the same seeded
+matrix the golden baselines pin:
+
+* **Streaming vs barrier**: a barrier campaign is only useful when the
+  last shard lands; streaming ingest hands the first verdict to the
+  operator while the rest of the matrix is still running. The asserted
+  contract is time-to-first-result strictly below the full-barrier
+  wall time.
+* **Worker scaling**: the same matrix across 1/2/4 socket-connected
+  workers, byte-identical throughout (the determinism contract that
+  lets cluster output feed the diff gate and golden baselines).
+
+Timings land in ``BENCH_perf.json`` via the shared conftest hook.
+"""
+
+import io
+import os
+import time
+
+from conftest import emit
+
+from repro.netdebug.campaign import run_campaign
+from repro.netdebug.cluster import ProgressPrinter, run_cluster_campaign
+from repro.netdebug.diffing import baseline_matrix
+
+#: The committed-baseline matrix (12 scenarios, 3 targets) — "the
+#: seeded matrix" every other gate uses — at a packet count that makes
+#: shard work dominate connection setup.
+MATRIX = baseline_matrix(count=40)
+
+
+def test_cluster_streaming_beats_the_barrier(benchmark):
+    """Time-to-first-result under streaming ingest must come in
+    strictly below the full-barrier campaign wall time."""
+
+    def experiment():
+        t0 = time.perf_counter()
+        barrier = run_campaign(MATRIX, workers=2, name="baseline")
+        t_barrier = time.perf_counter() - t0
+
+        # The live renderer is itself the measurement instrument: its
+        # first_result_s is the time-to-first-result definition.
+        printer = ProgressPrinter(stream=io.StringIO())
+        t0 = time.perf_counter()
+        streamed = run_cluster_campaign(
+            MATRIX, workers=2, name="baseline", on_result=printer,
+            timeout=600,
+        )
+        t_cluster = time.perf_counter() - t0
+        return barrier, streamed, t_barrier, printer.first_result_s, \
+            t_cluster
+
+    barrier, streamed, t_barrier, ttfr, t_cluster = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    # Determinism: pool barrier vs distributed cluster, byte-identical.
+    assert barrier.to_json() == streamed.to_json()
+    # The tentpole claim: streaming renders progressively, so the first
+    # verdict lands well before a barrier run would have returned.
+    assert ttfr is not None and ttfr < t_barrier, (
+        f"first streamed result took {ttfr:.3f}s, not below the "
+        f"{t_barrier:.3f}s barrier wall time"
+    )
+
+    emit(
+        "EXP-CLUSTER — streaming ingest vs barrier execution",
+        [
+            f"{'scenarios':>10} {'barrier_s':>10} {'ttfr_s':>8} "
+            f"{'cluster_s':>10} {'ttfr/barrier':>13}",
+            f"{barrier.scenarios:>10} {t_barrier:>10.3f} {ttfr:>8.3f} "
+            f"{t_cluster:>10.3f} {ttfr / t_barrier:>12.2%}",
+        ],
+    )
+    benchmark.extra_info["scenarios"] = barrier.scenarios
+    benchmark.extra_info["barrier_s"] = round(t_barrier, 4)
+    benchmark.extra_info["time_to_first_result_s"] = round(ttfr, 4)
+    benchmark.extra_info["cluster_s"] = round(t_cluster, 4)
+    benchmark.extra_info["byte_identical"] = True
+
+
+def test_cluster_scaling_across_worker_counts(benchmark):
+    """Wall clock of the seeded matrix on 1, 2 and 4 socket-connected
+    workers; every fleet size must produce identical bytes."""
+
+    def experiment():
+        timings = {}
+        reports = {}
+        for workers in (1, 2, 4):
+            t0 = time.perf_counter()
+            reports[workers] = run_cluster_campaign(
+                MATRIX, workers=workers, name="baseline", timeout=600
+            )
+            timings[workers] = time.perf_counter() - t0
+        return timings, reports
+
+    timings, reports = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    texts = {w: r.to_json() for w, r in reports.items()}
+    assert texts[1] == texts[2] == texts[4]
+
+    cpus = os.cpu_count() or 1
+    lines = [f"{'workers':>8} {'wall_s':>8} {'speedup':>8}"]
+    for workers, wall in sorted(timings.items()):
+        lines.append(
+            f"{workers:>8} {wall:>8.3f} "
+            f"{timings[1] / wall if wall else float('inf'):>7.2f}x"
+        )
+    lines.append(f"(host has {cpus} CPUs)")
+    emit("EXP-CLUSTER — worker-count scaling (byte-identical)", lines)
+    for workers, wall in timings.items():
+        benchmark.extra_info[f"workers_{workers}_s"] = round(wall, 4)
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.extra_info["byte_identical"] = True

@@ -66,5 +66,12 @@ class UnknownTargetError(NetDebugError):
     registered targets so matrix typos are one-glance fixable."""
 
 
+class ClusterError(NetDebugError):
+    """Distributed campaign execution failed: a shard exhausted its
+    retry budget, every worker exited with work still queued, a worker
+    reported a shard exception, or the transport saw a malformed or
+    truncated frame. The message carries the shard/worker context."""
+
+
 class VerificationError(ReproError):
     """The formal-verification baseline hit an unsupported construct."""

@@ -1,10 +1,15 @@
 """NetDebug: the programmable validation framework (the paper's system)."""
 
 from .campaign import (
+    CampaignProgress,
     CampaignReport,
+    PoolExecutor,
     Scenario,
     ScenarioMatrix,
     ScenarioResult,
+    SerialExecutor,
+    ShardExecutor,
+    assemble_report,
     record_campaign,
     replay_campaign,
     run_campaign,
@@ -74,16 +79,22 @@ __all__ = [
     "ScenarioMatrix",
     "Scenario",
     "ScenarioResult",
+    "CampaignProgress",
     "CampaignReport",
+    "ShardExecutor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "assemble_report",
     "run_campaign",
     "record_campaign",
     "replay_campaign",
 ]
 
-#: Lazily re-exported from :mod:`.diffing` (PEP 562): the differ doubles
-#: as a CLI (``python -m repro.netdebug.diffing``), and an eager import
-#: here would make runpy warn about the module already being loaded.
-#: ``__all__`` is extended from this set so the two cannot drift.
+#: Lazily re-exported (PEP 562): the differ and the cluster launcher
+#: both double as CLIs (``python -m repro.netdebug.diffing`` /
+#: ``... .cluster``), and an eager import here would make runpy warn
+#: about the module already being loaded. ``__all__`` is extended from
+#: these sets so the listings cannot drift.
 _DIFFING_EXPORTS = frozenset(
     {
         "CampaignDiff",
@@ -95,7 +106,16 @@ _DIFFING_EXPORTS = frozenset(
         "write_baselines",
     }
 )
-__all__ += sorted(_DIFFING_EXPORTS)
+_CLUSTER_EXPORTS = frozenset(
+    {
+        "ClusterExecutor",
+        "Coordinator",
+        "ProgressPrinter",
+        "run_cluster_campaign",
+        "worker_main",
+    }
+)
+__all__ += sorted(_DIFFING_EXPORTS) + sorted(_CLUSTER_EXPORTS)
 
 
 def __getattr__(name: str):
@@ -103,6 +123,10 @@ def __getattr__(name: str):
         from . import diffing
 
         return getattr(diffing, name)
+    if name in _CLUSTER_EXPORTS:
+        from . import cluster
+
+        return getattr(cluster, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

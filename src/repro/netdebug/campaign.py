@@ -32,8 +32,11 @@ Three properties the engine guarantees:
 
 from __future__ import annotations
 
+import itertools
 import json
+import math
 import multiprocessing
+import os
 import statistics
 from dataclasses import dataclass, field as dc_field
 from pathlib import Path
@@ -48,12 +51,21 @@ from ..sim.traffic import WORKLOADS, build_workload, default_flow
 from ..target.compiler import CompiledProgram
 from ..target.device import NetworkDevice
 from ..target.faults import Fault, FaultKind
+from ..target.pipeline import PacketSnapshot
 from ..target.reference import make_reference_device
 from ..target.sdnet import make_sdnet_device
 from ..target.tofino import make_tofino_device
+from .checker import CheckRule, LatencyCheck
 from .generator import StreamSpec
 from .regression import RegressionSuite, replay_suite
-from .report import Capability, CanonicalJsonReport, SessionReport
+from .report import (
+    Capability,
+    CanonicalJsonReport,
+    CheckOutcome,
+    Finding,
+    LatencyStats,
+    SessionReport,
+)
 from .session import ValidationSession, reference_expectation, run_session
 
 __all__ = [
@@ -63,10 +75,17 @@ __all__ = [
     "require_known_program",
     "scenario_key",
     "provision_acl_gate",
+    "provision_stateful_firewall",
+    "provision_int_telemetry",
     "Scenario",
     "ScenarioMatrix",
     "ScenarioResult",
+    "CampaignProgress",
     "CampaignReport",
+    "ShardExecutor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "assemble_report",
     "run_campaign",
     "record_campaign",
     "replay_campaign",
@@ -145,6 +164,31 @@ def provision_acl_gate(device: NetworkDevice) -> None:
     )
 
 
+def provision_stateful_firewall(device: NetworkDevice) -> None:
+    """Campaign setup for ``stateful_firewall`` sweeps.
+
+    Deliberately installs nothing, for every program: the firewall's
+    flow table lives entirely in data-plane registers, and register
+    state is *per device* (reset by every
+    :meth:`NetworkDevice.install`) while provisioners run once per
+    cached artifact — so pre-opening flow slots here would apply to
+    the first shard's device only and break the engine's shard-order
+    independence. Campaign traffic enters on the inside port and opens
+    its own slots in-band. The entry exists so mixed stdlib_ext
+    matrices can name a validated ``setup``.
+    """
+
+
+def provision_int_telemetry(device: NetworkDevice) -> None:
+    """Campaign setup for ``int_telemetry`` sweeps.
+
+    The telemetry program is table-free (fixed collector port, INT
+    stamp in egress), so there is no control-plane state to install;
+    like :func:`provision_stateful_firewall` this is a documented
+    registry entry, not a behaviour hook.
+    """
+
+
 #: Named control-plane provisioners (table entries etc.), applied ONCE
 #: per cached artifact — entries land on the shared program object, so
 #: provisioning must be install-once/read-many. Register module-level
@@ -152,6 +196,8 @@ def provision_acl_gate(device: NetworkDevice) -> None:
 #: to them by name).
 PROVISIONERS: dict[str, Callable[[NetworkDevice], None]] = {
     "acl_gate": provision_acl_gate,
+    "stateful_firewall": provision_stateful_firewall,
+    "int_telemetry": provision_int_telemetry,
 }
 
 
@@ -171,6 +217,10 @@ class Scenario:
     count: int
     seed: int
     setup: str = ""
+    #: Optional tail-latency SLA: the cell fails (``sla_breach``) when
+    #: the p99 of its per-packet pipeline latency exceeds this many
+    #: device-clock cycles.
+    sla_p99_cycles: float | None = None
 
     @property
     def key(self) -> str:
@@ -204,6 +254,10 @@ class ScenarioMatrix:
     count: int = 32
     seed: int = 0
     setup: str = ""
+    #: Optional tail-latency SLA applied to every cell (p99 pipeline
+    #: latency bound in device-clock cycles); ``None`` keeps campaign
+    #: verdicts purely functional.
+    sla_p99_cycles: float | None = None
 
     def validate(self) -> None:
         if not self.programs or not self.targets or not self.workloads \
@@ -242,6 +296,14 @@ class ScenarioMatrix:
             raise NetDebugError(
                 f"unknown setup provisioner {self.setup!r}"
             )
+        if self.sla_p99_cycles is not None and (
+            not math.isfinite(self.sla_p99_cycles)
+            or self.sla_p99_cycles <= 0
+        ):
+            raise NetDebugError(
+                "sla_p99_cycles must be a positive finite cycle bound, "
+                f"got {self.sla_p99_cycles!r}"
+            )
 
     def expand(self) -> list[Scenario]:
         """The full cross product, in deterministic matrix order."""
@@ -273,6 +335,7 @@ class ScenarioMatrix:
                                     f"{self.seed}:{key}"
                                 ) % (1 << 53),
                                 setup=self.setup,
+                                sla_p99_cycles=self.sla_p99_cycles,
                             )
                         )
                         index += 1
@@ -294,11 +357,38 @@ class ScenarioMatrix:
 #: parent's cache).
 _ARTIFACTS: dict[tuple[str, str, str], CompiledProgram] = {}
 _ARTIFACT_EPOCH: list[int] = [-1]
-_EPOCH_COUNTER = iter(range(1, 1 << 62))
+#: Epoch tokens only need to *differ* between campaigns that could ever
+#: reach the same worker cache. Mixing the coordinator PID in covers the
+#: cluster case, where a long-lived external worker outlives coordinator
+#: processes whose plain counters would both start at 1.
+_EPOCH_COUNTER = itertools.count((os.getpid() & 0xFFFFFF) << 32 | 1)
 
 
 def _build_program(name: str) -> P4Program:
     return PROGRAMS[name]()  # type: ignore[operator]
+
+
+def _cycle_times(bundle, device: NetworkDevice) -> list[int] | None:
+    """A workload's arrival process (ns) as device-clock timestamps;
+    ``None`` for untimed workloads (inject at the device clock)."""
+    if bundle.times_ns is None:
+        return None
+    return [
+        int(t * device.limits.clock_mhz / 1e3) for t in bundle.times_ns
+    ]
+
+
+def _scenario_times_ns(scenario: "Scenario") -> tuple[float, ...] | None:
+    """The scenario's workload arrival process (ns); ``None`` when the
+    workload is untimed. A zero-count probe (times ``()`` vs ``None``)
+    avoids generating packets just to learn there are no times."""
+    flow = default_flow(stable_hash64(scenario.key) % 8)
+    probe = build_workload(scenario.workload, flow, 0, seed=scenario.seed)
+    if probe.times_ns is None:
+        return None
+    return build_workload(
+        scenario.workload, flow, scenario.count, seed=scenario.seed
+    ).times_ns
 
 
 def _shard_device(
@@ -332,6 +422,65 @@ def _shard_device(
     return device
 
 
+class _LatencySampler(CheckRule):
+    """An always-passing tap rule that collects per-packet pipeline
+    latency (``_cycles_elapsed``) so SLA cells can grade a tail bound;
+    the samples double as the cell's latency distribution in the
+    report."""
+
+    name = "latency_sample"
+
+    def __init__(self) -> None:
+        self.samples: list[int] = []
+
+    def check(self, snapshot: PacketSnapshot) -> tuple[bool, str]:
+        self.samples.append(
+            int(snapshot.metadata.get("_cycles_elapsed", 0))
+        )
+        return True, ""
+
+
+def _grade_sla(scenario: "Scenario", report: SessionReport,
+               sampler: _LatencySampler) -> None:
+    """Grade the cell's p99 latency against its SLA via LatencyCheck.
+
+    The samples become the report's latency distribution, the grade is
+    appended as a ``sla-p99`` check outcome, and a breach adds a
+    ``sla_breach`` finding — which is what flips the cell's verdict.
+    """
+    report.latency = LatencyStats(samples=list(sampler.samples))
+    bound = int(scenario.sla_p99_cycles)
+    check = LatencyCheck("sla-p99", max_cycles=bound)
+    ok, detail = check.check(
+        PacketSnapshot(
+            stage="campaign-sla",
+            wire=None,
+            packet=None,
+            metadata={
+                "_cycles_elapsed": int(math.ceil(report.latency.p99))
+            },
+            alive=True,
+        )
+    )
+    report.checks.append(
+        CheckOutcome(
+            rule=check.name,
+            checked=1,
+            passed=int(ok),
+            failed=int(not ok),
+            first_failure=detail,
+        )
+    )
+    if not ok:
+        report.findings.append(
+            Finding(
+                "sla_breach",
+                f"{scenario.key}: p99 {detail}",
+                stage="campaign-sla",
+            )
+        )
+
+
 def _run_shard(job: tuple) -> "ScenarioResult":
     epoch, scenario, faults, keep_suite = job
     device = _shard_device(
@@ -352,14 +501,24 @@ def _run_shard(job: tuple) -> "ScenarioResult":
         seed=scenario.seed,
     )
     frames = [packet.pack() for packet in bundle.packets]
+    # StreamSpec.timestamps is in device-clock cycles; the workload's
+    # arrival process is in nanoseconds. The same timestamps feed the
+    # oracle so programs that stamp time into packets (int_telemetry)
+    # validate byte-exactly; untimed workloads inject at the device
+    # clock, which the oracle cannot see, so they keep predicting at 0.
+    cycle_times = _cycle_times(bundle, device)
     expectations = [
         reference_expectation(
             device.program, wire,
             label=f"{scenario.key}#{i}",
             num_ports=len(device.ports),
+            timestamp=cycle_times[i] if cycle_times is not None else 0,
         )
         for i, wire in enumerate(frames)
     ]
+    sampler = (
+        _LatencySampler() if scenario.sla_p99_cycles is not None else None
+    )
     session = ValidationSession(
         name=f"campaign/{scenario.index:04d}/{scenario.key}",
         streams=[
@@ -367,21 +526,15 @@ def _run_shard(job: tuple) -> "ScenarioResult":
                 stream_id=scenario.index + 1,
                 packets=list(bundle.packets),
                 fix_checksums=False,
-                # StreamSpec.timestamps is in device-clock cycles; the
-                # workload's arrival process is in nanoseconds.
-                timestamps=(
-                    [
-                        int(t * device.limits.clock_mhz / 1e3)
-                        for t in bundle.times_ns
-                    ]
-                    if bundle.times_ns is not None
-                    else None
-                ),
+                timestamps=cycle_times,
             )
         ],
+        checks=[sampler] if sampler is not None else [],
         expectations=expectations,
     )
     report = run_session(device, session)
+    if sampler is not None:
+        _grade_sla(scenario, report, sampler)
     report.measurements["clock_cycles"] = float(device.clock_cycles)
     report.measurements["cycles_per_packet"] = (
         device.clock_cycles / report.injected if report.injected else 0.0
@@ -401,14 +554,28 @@ def _suite_name(scenario: Scenario) -> str:
 
 
 def _replay_shard(job: tuple) -> "ScenarioResult":
-    epoch, scenario, faults, directory = job
+    epoch, scenario, faults, directory, times_ns = job
     suite = RegressionSuite.load(directory, _suite_name(scenario))
     device = _shard_device(
         epoch, scenario.program, scenario.target, scenario.setup
     )
     for fault in faults:
         device.injector.inject(fault)
-    report = replay_suite(device, suite)
+    # Replay at the *recorded* injection timestamps (the manifest
+    # persists the workload's arrival process): recorded expectations
+    # pin exact bytes, so time-stamping programs only reproduce their
+    # recording when the clock readings match — and reading the times
+    # from the artifact keeps old recordings replayable even after the
+    # live traffic generators change.
+    timestamps = (
+        [
+            int(t * device.limits.clock_mhz / 1e3)
+            for t in times_ns
+        ]
+        if times_ns is not None
+        else None
+    )
+    report = replay_suite(device, suite, timestamps=timestamps)
     report.measurements["clock_cycles"] = float(device.clock_cycles)
     report.measurements["cycles_per_packet"] = (
         device.clock_cycles / report.injected if report.injected else 0.0
@@ -450,17 +617,22 @@ class ScenarioResult:
         return Capability.from_score(self.score)
 
     def to_dict(self) -> dict:
+        scenario = {
+            "index": self.scenario.index,
+            "program": self.scenario.program,
+            "target": self.scenario.target,
+            "fault": self.scenario.fault,
+            "workload": self.scenario.workload,
+            "count": self.scenario.count,
+            "seed": self.scenario.seed,
+            "setup": self.scenario.setup,
+        }
+        # Emitted only when set: pre-SLA baselines must keep
+        # round-tripping byte-identically.
+        if self.scenario.sla_p99_cycles is not None:
+            scenario["sla_p99_cycles"] = self.scenario.sla_p99_cycles
         return {
-            "scenario": {
-                "index": self.scenario.index,
-                "program": self.scenario.program,
-                "target": self.scenario.target,
-                "fault": self.scenario.fault,
-                "workload": self.scenario.workload,
-                "count": self.scenario.count,
-                "seed": self.scenario.seed,
-                "setup": self.scenario.setup,
-            },
+            "scenario": scenario,
             "verdict": self.verdict,
             "score": round(self.score, 6),
             "capability": self.capability.value,
@@ -480,6 +652,7 @@ class ScenarioResult:
                 count=s["count"],
                 seed=s["seed"],
                 setup=s.get("setup", ""),
+                sla_p99_cycles=s.get("sla_p99_cycles"),
             ),
             report=SessionReport.from_dict(data["report"]),
         )
@@ -608,7 +781,7 @@ class CampaignReport(CanonicalJsonReport):
 
 
 # ---------------------------------------------------------------------------
-# The engine
+# The engine: executors, streaming ingest, deterministic reassembly
 # ---------------------------------------------------------------------------
 
 def _pool_context():
@@ -620,15 +793,146 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def _execute(jobs: list[tuple], shard_fn, workers: int) -> list:
-    if workers <= 1 or len(jobs) <= 1:
-        return [shard_fn(job) for job in jobs]
-    workers = min(workers, len(jobs))
-    with _pool_context().Pool(processes=workers) as pool:
-        # chunksize=1: shards are coarse units already; fine-grained
-        # dispatch keeps long scenarios from serializing behind short
-        # ones. pool.map preserves job order, so determinism is free.
-        return pool.map(shard_fn, jobs, chunksize=1)
+@dataclass(frozen=True)
+class CampaignProgress:
+    """Where a streaming campaign stands when a result lands."""
+
+    completed: int
+    total: int
+    failed: int = 0
+
+    @property
+    def fraction(self) -> float:
+        return self.completed / self.total if self.total else 1.0
+
+
+class ShardExecutor:
+    """Strategy seam for executing a campaign's shard jobs.
+
+    ``execute`` runs every job through ``shard_fn`` and returns the
+    :class:`ScenarioResult` list **in any order**; implementations call
+    ``on_result(result)`` as each shard completes (streaming ingest).
+    :func:`run_campaign` owns expansion, progress accounting, record
+    artifacts and deterministic reassembly, so the local pool and the
+    distributed cluster (:class:`repro.netdebug.cluster.ClusterExecutor`)
+    share everything except raw dispatch.
+    """
+
+    def execute(
+        self,
+        jobs: list[tuple],
+        shard_fn: Callable[[tuple], "ScenarioResult"],
+        on_result: Callable[["ScenarioResult"], None] | None = None,
+    ) -> list["ScenarioResult"]:
+        raise NotImplementedError
+
+
+class SerialExecutor(ShardExecutor):
+    """In-process execution, one shard at a time (still streams)."""
+
+    def execute(self, jobs, shard_fn, on_result=None):
+        results = []
+        for job in jobs:
+            result = shard_fn(job)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+
+class PoolExecutor(ShardExecutor):
+    """A local :mod:`multiprocessing` pool with streaming ingest.
+
+    ``imap_unordered`` (chunksize 1) hands results back the moment any
+    worker finishes, so long campaigns render progressively instead of
+    at the barrier; reassembly downstream restores scenario order.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise NetDebugError("pool executor needs at least 1 worker")
+        self.workers = workers
+
+    def execute(self, jobs, shard_fn, on_result=None):
+        if self.workers <= 1 or len(jobs) <= 1:
+            return SerialExecutor().execute(jobs, shard_fn, on_result)
+        workers = min(self.workers, len(jobs))
+        results = []
+        with _pool_context().Pool(processes=workers) as pool:
+            for result in pool.imap_unordered(shard_fn, jobs, chunksize=1):
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+        return results
+
+
+def assemble_report(
+    name: str, results: list["ScenarioResult"], expected: int | None = None
+) -> CampaignReport:
+    """Deterministically reassemble out-of-order shard results.
+
+    The ONE reassembly definition every execution path funnels through
+    (serial, pool, distributed cluster): sort by scenario index and
+    refuse duplicates or gaps, so the final report is byte-identical no
+    matter the arrival order — the property the golden baselines and
+    the cross-version differ rely on.
+    """
+    ordered = sorted(results, key=lambda result: result.scenario.index)
+    indices = [result.scenario.index for result in ordered]
+    if len(set(indices)) != len(indices):
+        raise NetDebugError(
+            f"campaign {name!r}: duplicate scenario results in "
+            f"reassembly (indices {indices})"
+        )
+    if expected is not None and len(ordered) != expected:
+        raise NetDebugError(
+            f"campaign {name!r}: executor returned {len(ordered)} of "
+            f"{expected} shard results"
+        )
+    return CampaignReport(name=name, results=ordered)
+
+
+def _streaming_ingest(
+    on_result: Callable[[str, SessionReport, CampaignProgress], None] | None,
+    total: int,
+) -> Callable[["ScenarioResult"], None] | None:
+    """Adapt the user-facing ``on_result(key, report, progress)`` hook
+    to the executor-facing per-result callback, owning the progress
+    counters so every executor reports identically."""
+    if on_result is None:
+        return None
+    counters = {"completed": 0, "failed": 0}
+
+    def ingest(result: "ScenarioResult") -> None:
+        counters["completed"] += 1
+        if not result.passed:
+            counters["failed"] += 1
+        on_result(
+            result.scenario.key,
+            result.report,
+            CampaignProgress(
+                completed=counters["completed"],
+                total=total,
+                failed=counters["failed"],
+            ),
+        )
+
+    return ingest
+
+
+def _execute(
+    jobs: list[tuple],
+    shard_fn,
+    workers: int,
+    executor: ShardExecutor | None = None,
+    ingest=None,
+) -> list:
+    if executor is None:
+        executor = (
+            SerialExecutor() if workers <= 1 or len(jobs) <= 1
+            else PoolExecutor(workers)
+        )
+    return executor.execute(jobs, shard_fn, on_result=ingest)
 
 
 def run_campaign(
@@ -636,14 +940,27 @@ def run_campaign(
     workers: int = 1,
     name: str = "campaign",
     record_dir: str | Path | None = None,
+    executor: ShardExecutor | None = None,
+    on_result: Callable[[str, SessionReport, CampaignProgress], None]
+    | None = None,
 ) -> CampaignReport:
     """Expand ``matrix`` and execute every scenario shard.
 
     ``workers`` > 1 runs shards on a process pool (each worker caching
-    one compiled artifact per program/target). With ``record_dir`` set
-    the campaign is also frozen to regression artifacts — one
-    :class:`RegressionSuite` per scenario plus ``<name>.manifest.json``
-    — replayable via :func:`replay_campaign`.
+    one compiled artifact per program/target); passing ``executor``
+    overrides dispatch entirely — e.g.
+    :class:`repro.netdebug.cluster.ClusterExecutor` to fan shards out
+    to socket-connected workers on other hosts. Either way the final
+    report is byte-identical to the serial run.
+
+    ``on_result`` is the streaming-ingest hook: called as
+    ``on_result(scenario_key, report, progress)`` the moment each shard
+    completes, in **arrival** order (out of order under parallel
+    executors), so long campaigns can render progressively.
+
+    With ``record_dir`` set the campaign is also frozen to regression
+    artifacts — one :class:`RegressionSuite` per scenario plus
+    ``<name>.manifest.json`` — replayable via :func:`replay_campaign`.
     """
     scenarios = matrix.expand()
     record = record_dir is not None
@@ -661,18 +978,21 @@ def run_campaign(
         (epoch, scenario, matrix.faults[scenario.fault], record)
         for scenario in scenarios
     ]
-    results = _execute(jobs, _run_shard, workers)
-    results.sort(key=lambda result: result.scenario.index)
+    results = _execute(
+        jobs, _run_shard, workers, executor,
+        _streaming_ingest(on_result, len(jobs)),
+    )
+    report = assemble_report(name, results, expected=len(jobs))
 
     if record:
         directory = Path(record_dir)
         directory.mkdir(parents=True, exist_ok=True)
-        for result in results:
+        for result in report.results:
             result.suite.save(directory)
         _write_manifest(directory, name, matrix, scenarios)
-    for result in results:
+    for result in report.results:
         result.suite = None
-    return CampaignReport(name=name, results=results)
+    return report
 
 
 # ---------------------------------------------------------------------------
@@ -732,6 +1052,23 @@ def _write_manifest(
                 "seed": s.seed,
                 "setup": s.setup,
                 "suite": _suite_name(s),
+                # Conditional for manifest stability; recorded for
+                # provenance only (replay grades recorded expectations,
+                # not live latency).
+                **(
+                    {"sla_p99_cycles": s.sla_p99_cycles}
+                    if s.sla_p99_cycles is not None
+                    else {}
+                ),
+                # Timed workloads persist their arrival process (ns):
+                # the recorded expectations pin bytes that may derive
+                # from injection time, so replay must not depend on
+                # the *live* generators still producing these times.
+                **(
+                    {"times_ns": list(times_ns)}
+                    if (times_ns := _scenario_times_ns(s)) is not None
+                    else {}
+                ),
             }
             for s in scenarios
         ],
@@ -757,12 +1094,19 @@ def replay_campaign(
     directory: str | Path,
     name: str = "campaign",
     workers: int = 1,
+    executor: ShardExecutor | None = None,
+    on_result: Callable[[str, SessionReport, CampaignProgress], None]
+    | None = None,
 ) -> CampaignReport:
     """Replay a recorded campaign from its artifacts on fresh devices.
 
     Fault sets and scenario assignments come from the manifest; frames
     and expectations from the per-scenario regression suites (suites
-    with truncated pcap captures are rejected at load).
+    with truncated pcap captures are rejected at load). ``executor``
+    and ``on_result`` behave exactly as in :func:`run_campaign` —
+    replay shards ride the same dispatch/reassembly seam (a cluster
+    replays an archived campaign the way it runs a live one, reading
+    artifacts from a shared filesystem path).
     """
     directory = Path(directory)
     manifest_path = directory / f"{name}.manifest.json"
@@ -786,6 +1130,7 @@ def replay_campaign(
             count=s["count"],
             seed=s["seed"],
             setup=s.get("setup", ""),
+            sla_p99_cycles=s.get("sla_p99_cycles"),
         )
         # A hand-edited or version-skewed manifest must fail here with a
         # clear error, not as a KeyError inside the worker pool.
@@ -800,9 +1145,22 @@ def replay_campaign(
                 f"manifest scenario {scenario.index} references unknown "
                 f"fault set {scenario.fault!r}"
             )
-        jobs.append((scenario, faults[scenario.fault], str(directory)))
+        jobs.append(
+            (
+                scenario,
+                faults[scenario.fault],
+                str(directory),
+                # Pre-PR-5 manifests carry no times: replay them at
+                # the device clock, exactly as they were recorded.
+                tuple(s["times_ns"]) if "times_ns" in s else None,
+            )
+        )
     epoch = next(_EPOCH_COUNTER)
     jobs = [(epoch, *job) for job in jobs]
-    results = _execute(jobs, _replay_shard, workers)
-    results.sort(key=lambda result: result.scenario.index)
-    return CampaignReport(name=f"replay-{payload['name']}", results=results)
+    results = _execute(
+        jobs, _replay_shard, workers, executor,
+        _streaming_ingest(on_result, len(jobs)),
+    )
+    return assemble_report(
+        f"replay-{payload['name']}", results, expected=len(jobs)
+    )

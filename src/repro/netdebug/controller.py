@@ -65,6 +65,23 @@ class NetDebugController:
             self.reports.append(result.report)
         return len(results)
 
+    def stream_archiver(self):
+        """An ``on_result`` hook that archives campaign reports live.
+
+        Pass the returned callable to :func:`run_campaign` /
+        :func:`repro.netdebug.cluster.run_cluster_campaign` to fold
+        session reports into this controller's archive *as shards
+        complete* — in arrival order, which under a parallel or
+        distributed executor is not scenario order. For a
+        deterministically ordered archive, call
+        :meth:`archive_campaign` on the final report instead.
+        """
+
+        def archive(scenario_key, report, progress):
+            self.reports.append(report)
+
+        return archive
+
     # ------------------------------------------------------------------
     # Status monitoring (periodic internal status information)
     # ------------------------------------------------------------------

@@ -182,14 +182,32 @@ def record_suite(
 
 
 def replay_suite(
-    device: NetworkDevice, suite: RegressionSuite
+    device: NetworkDevice,
+    suite: RegressionSuite,
+    timestamps: list[int] | None = None,
 ) -> SessionReport:
-    """Replay a frozen suite on ``device`` and report divergences."""
+    """Replay a frozen suite on ``device`` and report divergences.
+
+    ``timestamps`` re-applies the original per-frame injection times
+    (device-clock cycles). Recorded expectations pin exact output
+    bytes, so suites captured under a workload-defined arrival process
+    only replay faithfully for time-stamping programs (e.g.
+    ``int_telemetry``) when injection happens at the same timestamps.
+    """
     checker = OutputChecker(device)
     with checker:
-        for frame, expectation in zip(suite.frames, suite.expectations):
+        for index, (frame, expectation) in enumerate(
+            zip(suite.frames, suite.expectations)
+        ):
             checker.arm(expectation)
-            device.inject(frame)
+            device.inject(
+                frame,
+                timestamp=(
+                    timestamps[index]
+                    if timestamps is not None and index < len(timestamps)
+                    else None
+                ),
+            )
             checker.disarm()
     return SessionReport(
         session=f"replay-{suite.name}",

@@ -33,6 +33,7 @@ def reference_expectation(
     ingress_port: int = 0,
     label: str = "",
     num_ports: int | None = None,
+    timestamp: int = 0,
 ) -> ExpectedOutput:
     """Predict the spec-correct output for ``wire`` on ``program``.
 
@@ -40,6 +41,11 @@ def reference_expectation(
     program's installed table entries. A drop/reject prediction becomes a
     ``forbid`` expectation; a unicast forward prediction pins the exact
     output bytes and egress port.
+
+    ``timestamp`` is the planned injection time in device-clock cycles;
+    programs whose output bytes depend on it (e.g. ``int_telemetry``
+    stamping ``ingress_ts``) validate byte-exactly only when the oracle
+    sees the same timestamp the device will.
 
     A *flood* prediction (``egress_spec`` equal to :data:`FLOOD_PORT`)
     is expanded to the per-port expected outputs — every port except the
@@ -50,7 +56,9 @@ def reference_expectation(
     metadata layout), instead of surfacing a bare ``KeyError``.
     """
     interp = Interpreter(program, honor_reject=True)
-    result = interp.process(wire, ingress_port=ingress_port)
+    result = interp.process(
+        wire, ingress_port=ingress_port, timestamp=timestamp
+    )
     if result.verdict is not Verdict.FORWARDED:
         return ExpectedOutput(
             forbid=True, label=label or f"must-drop ({result.verdict.value})"
@@ -163,6 +171,7 @@ def run_session(
                         device.program, wire,
                         label=f"s{stream.stream_id}#{seq_no}",
                         num_ports=len(device.ports),
+                        timestamp=timestamp,
                     )
 
                 if expectation is not None:

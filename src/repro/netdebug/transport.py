@@ -1,0 +1,165 @@
+"""Length-prefixed socket framing for the cluster subsystem.
+
+The coordinator/worker protocol (:mod:`repro.netdebug.cluster`) ships
+two kinds of payload over one TCP connection:
+
+* **control messages** — hello, shutdown, remote errors — encoded as
+  JSON so they stay inspectable on the wire and a foreign worker
+  implementation could speak them;
+* **shard payloads** — job tuples carrying :class:`Scenario`/
+  :class:`Fault` objects and :class:`ScenarioResult` replies — encoded
+  with :mod:`pickle`, the same serialization the multiprocessing pool
+  path already relies on.
+
+Every frame is ``>IB`` (4-byte big-endian body length + 1 kind byte)
+followed by the body. :func:`recv_message` returns ``None`` on a clean
+EOF at a frame boundary and raises :class:`ClusterError` on a truncated
+frame, an unknown kind byte, or a body over :data:`MAX_FRAME_BYTES` —
+a corrupted length prefix must fail loudly, not allocate 4 GiB.
+
+Pickle frames execute arbitrary code on unpickling: the transport is
+for coordinator/worker fleets on hosts you already trust (the threat
+model of a lab's validation cluster), never for untrusted peers.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+import threading
+
+from ..exceptions import ClusterError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "KIND_JSON",
+    "KIND_PICKLE",
+    "send_message",
+    "recv_message",
+    "Channel",
+]
+
+#: Upper bound on one frame body; a campaign result with full latency
+#: samples is a few MiB at most, so anything near this is corruption.
+MAX_FRAME_BYTES = 1 << 28
+
+_HEADER = struct.Struct(">IB")
+
+KIND_JSON = 0x4A  # "J"
+KIND_PICKLE = 0x50  # "P"
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    """Read exactly ``size`` bytes; ``None`` on immediate clean EOF.
+
+    EOF *inside* the span is a truncated frame and raises — the peer
+    died mid-send and the stream can never resynchronize.
+    """
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise ClusterError(
+                f"connection closed mid-frame ({size - remaining} of "
+                f"{size} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(
+    sock: socket.socket, message: dict, binary: bool = False
+) -> None:
+    """Send one framed message (``binary=True`` selects pickle)."""
+    if binary:
+        body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        kind = KIND_PICKLE
+    else:
+        body = json.dumps(message).encode()
+        kind = KIND_JSON
+    if len(body) > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"refusing to send a {len(body)}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    sock.sendall(_HEADER.pack(len(body), kind) + body)
+
+
+def recv_message(
+    sock: socket.socket, json_only: bool = False
+) -> dict | None:
+    """Receive one framed message; ``None`` on clean EOF.
+
+    ``json_only`` rejects pickle frames *without unpickling them* —
+    the receiver's guard for protocol phases where the peer is not yet
+    trusted (a coordinator's pre-hello window on an exposed listener
+    must never feed attacker bytes to ``pickle.loads``).
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    length, kind = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"frame length {length} exceeds limit {MAX_FRAME_BYTES}; "
+            "corrupted length prefix?"
+        )
+    if json_only and kind != KIND_JSON:
+        raise ClusterError(
+            "peer sent a non-JSON frame where only JSON control "
+            "messages are accepted"
+        )
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ClusterError("connection closed between header and body")
+    if kind == KIND_JSON:
+        try:
+            message = json.loads(body)
+        except ValueError as exc:
+            raise ClusterError(f"undecodable JSON frame: {exc}") from exc
+    elif kind == KIND_PICKLE:
+        try:
+            message = pickle.loads(body)
+        except Exception as exc:
+            raise ClusterError(f"undecodable pickle frame: {exc}") from exc
+    else:
+        raise ClusterError(f"unknown frame kind byte {kind:#x}")
+    if not isinstance(message, dict):
+        raise ClusterError(
+            f"protocol messages must be dicts, got {type(message).__name__}"
+        )
+    return message
+
+
+class Channel:
+    """A message channel over one connected socket.
+
+    Sends are serialized by a lock so a worker's pool callbacks (which
+    fire on multiprocessing's result-handler thread) can reply
+    concurrently with the main receive loop; receives are expected from
+    a single thread.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+
+    def send(self, message: dict, binary: bool = False) -> None:
+        with self._send_lock:
+            send_message(self._sock, message, binary=binary)
+
+    def recv(self, json_only: bool = False) -> dict | None:
+        return recv_message(self._sock, json_only=json_only)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()

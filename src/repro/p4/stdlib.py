@@ -464,6 +464,9 @@ def reflector() -> P4Program:
 
 
 #: Registry of all stdlib programs, used by suites that sweep programs.
+#: The stdlib_ext stateful/telemetry programs register below (deferred
+#: import: stdlib_ext builds on the same DSL modules, never on this
+#: registry) so campaign matrices can sweep them like any core program.
 PROGRAMS: dict[str, object] = {
     "l2_switch": l2_switch,
     "ipv4_router": ipv4_router,
@@ -475,3 +478,13 @@ PROGRAMS: dict[str, object] = {
     "vlan_forwarder": vlan_forwarder,
     "reflector": reflector,
 }
+
+
+def _register_ext_programs() -> None:
+    from .stdlib_ext import int_telemetry, stateful_firewall
+
+    PROGRAMS["stateful_firewall"] = stateful_firewall
+    PROGRAMS["int_telemetry"] = int_telemetry
+
+
+_register_ext_programs()

@@ -21,6 +21,8 @@ __all__ = [
     "FlowSpec",
     "constant_rate_times",
     "poisson_times",
+    "burst_times",
+    "onoff_times",
     "udp_stream",
     "imix_stream",
     "malformed_mix",
@@ -103,6 +105,100 @@ def poisson_times(
         time = 0.0
         for _ in range(count):
             time += rng.expovariate(rate_pps) * 1e9
+            yield time
+
+    return times()
+
+
+def burst_times(
+    rate_pps: float,
+    count: int,
+    burst_size: int = 8,
+    duty_cycle: float = 0.2,
+    seed: int = 0,
+) -> Iterator[float]:
+    """Bursty arrival times (ns): back-to-back trains at the peak rate
+    separated by seeded idle gaps, with mean rate ``rate_pps``.
+
+    Within a burst, packets are spaced at ``duty_cycle / rate_pps``
+    (i.e. the peak rate is ``rate_pps / duty_cycle``); inter-burst idle
+    gaps absorb the remaining budget, jittered ±20% by ``seed`` so
+    different cells see different burst phasing while any one cell is
+    reproducible. Raises :class:`SimulationError` (eagerly, not at
+    first iteration) for a non-positive rate, burst size or duty cycle.
+    """
+    _check_rate(rate_pps, "burst_times")
+    if burst_size <= 0:
+        raise SimulationError(
+            f"burst_times: burst_size must be positive, got {burst_size!r}"
+        )
+    if not 0.0 < duty_cycle <= 1.0:
+        raise SimulationError(
+            f"burst_times: duty_cycle must be in (0, 1], got {duty_cycle!r}"
+        )
+    rng = random.Random(seed)
+    mean_gap = 1e9 / rate_pps
+    on_gap = duty_cycle * mean_gap
+
+    def times() -> Iterator[float]:
+        time = 0.0
+        for index in range(count):
+            if index and index % burst_size == 0:
+                idle = (mean_gap - on_gap) * burst_size
+                time += idle * (0.8 + 0.4 * rng.random())
+            time += on_gap
+            yield time
+
+    return times()
+
+
+def onoff_times(
+    rate_pps: float,
+    count: int,
+    seed: int = 0,
+    p_on_off: float = 0.1,
+    p_off_on: float = 0.3,
+    off_scale: float = 10.0,
+) -> Iterator[float]:
+    """Two-state Markov (on-off) arrival times (ns).
+
+    The source alternates between an ON state emitting at ``rate_pps``
+    and a silent OFF state: after each packet it moves ON→OFF with
+    probability ``p_on_off``, and while OFF it idles in multiples of
+    ``off_scale`` packet gaps, returning OFF→ON with probability
+    ``p_off_on`` per idle step — the classic bursty-source model.
+    Seed-deterministic; raises :class:`SimulationError` (eagerly, not
+    at first iteration) for a non-positive rate or transition
+    probabilities outside (0, 1].
+    """
+    _check_rate(rate_pps, "onoff_times")
+    for name, probability in (
+        ("p_on_off", p_on_off), ("p_off_on", p_off_on)
+    ):
+        if not 0.0 < probability <= 1.0:
+            raise SimulationError(
+                f"onoff_times: {name} must be in (0, 1], "
+                f"got {probability!r}"
+            )
+    if off_scale <= 0:
+        raise SimulationError(
+            f"onoff_times: off_scale must be positive, got {off_scale!r}"
+        )
+    rng = random.Random(seed)
+    on_gap = 1e9 / rate_pps
+    off_gap = off_scale * on_gap
+
+    def times() -> Iterator[float]:
+        time = 0.0
+        on = True
+        for _ in range(count):
+            if on and rng.random() < p_on_off:
+                on = False
+            while not on:
+                time += off_gap
+                if rng.random() < p_off_on:
+                    on = True
+            time += on_gap
             yield time
 
     return times()
@@ -249,6 +345,26 @@ def _poisson_workload(
     )
 
 
+def _burst_workload(
+    flow: FlowSpec, count: int, seed: int, rate_pps: float
+) -> WorkloadBundle:
+    return WorkloadBundle(
+        "burst",
+        tuple(udp_stream(flow, count, size=128, seed=seed)),
+        times_ns=tuple(burst_times(rate_pps, count, seed=seed)),
+    )
+
+
+def _onoff_workload(
+    flow: FlowSpec, count: int, seed: int, rate_pps: float
+) -> WorkloadBundle:
+    return WorkloadBundle(
+        "onoff",
+        tuple(udp_stream(flow, count, size=128, seed=seed)),
+        times_ns=tuple(onoff_times(rate_pps, count, seed=seed)),
+    )
+
+
 def _malformed_workload(
     flow: FlowSpec, count: int, seed: int, rate_pps: float
 ) -> WorkloadBundle:
@@ -274,6 +390,8 @@ WORKLOADS: dict[
     "udp": _udp_workload,
     "imix": _imix_workload,
     "poisson": _poisson_workload,
+    "burst": _burst_workload,
+    "onoff": _onoff_workload,
     "malformed": _malformed_workload,
 }
 

@@ -240,6 +240,37 @@ class TestRecordReplay:
         ]
         assert not replayed.passed
 
+    def test_timed_workload_record_replay_round_trip(self, tmp_path):
+        # Replay regenerates the workload's arrival process from the
+        # manifest and re-injects at the original timestamps, so even a
+        # time-stamping program reproduces its own recording.
+        matrix = tiny_matrix(
+            programs=["int_telemetry"], workloads=["burst"], count=4
+        )
+        recorded = record_campaign(matrix, tmp_path, name="timed")
+        assert recorded.passed
+        replayed = replay_campaign(tmp_path, name="timed")
+        assert replayed.passed
+
+    def test_replay_reads_arrival_times_from_manifest(self, tmp_path):
+        # The manifest persists the workload's arrival process, so a
+        # recording stays replayable even if the live generators ever
+        # change. Stripping the times (a pre-times manifest) makes the
+        # time-stamping program replay at the device clock and diverge
+        # from its own recording — proving replay consumes them.
+        matrix = tiny_matrix(
+            programs=["int_telemetry"], workloads=["burst"], count=4
+        )
+        record_campaign(matrix, tmp_path, name="timed2")
+        manifest_path = tmp_path / "timed2.manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["scenarios"][0]["times_ns"]
+        assert replay_campaign(tmp_path, name="timed2").passed
+        for scenario in manifest["scenarios"]:
+            scenario.pop("times_ns")
+        manifest_path.write_text(json.dumps(manifest))
+        assert not replay_campaign(tmp_path, name="timed2").passed
+
     def test_predicate_faults_cannot_be_recorded(self, tmp_path):
         matrix = tiny_matrix(
             faults={
@@ -395,6 +426,179 @@ class TestCampaignReport:
         assert len(controller.reports) == 2
         with pytest.raises(NetDebugError):
             controller.archive_campaign(object())
+
+
+class TestExecutorSeam:
+    """run_campaign's dispatch strategy is pluggable; every executor
+    shares expansion, ingest and reassembly."""
+
+    def test_explicit_serial_executor_matches_default(self):
+        from repro.netdebug.campaign import SerialExecutor
+
+        matrix = tiny_matrix(workloads=["udp", "malformed"])
+        assert (
+            run_campaign(matrix, name="seam").to_json()
+            == run_campaign(
+                matrix, name="seam", executor=SerialExecutor()
+            ).to_json()
+        )
+
+    def test_pool_executor_streams_before_the_barrier(self):
+        from repro.netdebug.campaign import PoolExecutor
+
+        matrix = tiny_matrix(
+            programs=["strict_parser", "l2_switch"],
+            workloads=["udp", "malformed"],
+        )
+        events = []
+        report = run_campaign(
+            matrix,
+            name="stream",
+            executor=PoolExecutor(2),
+            on_result=lambda key, rep, progress: events.append(
+                (key, progress.completed, progress.total,
+                 progress.fraction)
+            ),
+        )
+        assert len(events) == report.scenarios
+        assert [e[1] for e in events] == list(range(1, len(events) + 1))
+        assert events[-1][3] == 1.0
+
+    def test_on_result_failed_counter_tracks_verdicts(self):
+        matrix = tiny_matrix(
+            targets=["reference", "sdnet"], workloads=["malformed"],
+            count=6,
+        )
+        progresses = []
+        run_campaign(
+            matrix, name="counts",
+            on_result=lambda key, rep, progress: progresses.append(
+                progress
+            ),
+        )
+        assert progresses[-1].failed == 1  # the sdnet reject-leak cell
+
+    def test_pool_executor_rejects_zero_workers(self):
+        from repro.netdebug.campaign import PoolExecutor
+
+        with pytest.raises(NetDebugError):
+            PoolExecutor(0)
+
+    def test_replay_rides_the_same_seam(self, tmp_path):
+        from repro.netdebug.campaign import SerialExecutor
+
+        record_campaign(tiny_matrix(), tmp_path, name="seamr")
+        events = []
+        replayed = replay_campaign(
+            tmp_path, name="seamr", executor=SerialExecutor(),
+            on_result=lambda key, rep, progress: events.append(key),
+        )
+        assert replayed.scenarios == 1
+        assert events == [replayed.results[0].scenario.key]
+
+
+class TestLatencySla:
+    """Scenario cells can carry a p99 tail-latency SLA graded via
+    LatencyCheck over the shard's latency samples."""
+
+    def test_generous_sla_passes_and_carries_samples(self):
+        report = run_campaign(
+            tiny_matrix(sla_p99_cycles=100000.0), name="sla-ok"
+        )
+        result = report.results[0]
+        assert result.passed
+        assert result.report.latency.count == result.report.injected
+        outcome = {c.rule: c for c in result.report.checks}["sla-p99"]
+        assert outcome.ok
+
+    def test_tight_sla_breaches_and_fails_the_cell(self):
+        report = run_campaign(
+            tiny_matrix(sla_p99_cycles=1.0), name="sla-breach"
+        )
+        result = report.results[0]
+        assert not result.passed
+        breaches = result.report.findings_of("sla_breach")
+        assert breaches and "exceeds SLA" in breaches[0].message
+
+    def test_sla_report_round_trips_byte_identically(self):
+        text = run_campaign(
+            tiny_matrix(sla_p99_cycles=1.0), name="sla-rt"
+        ).to_json()
+        assert CampaignReport.from_json(text).to_json() == text
+        assert '"sla_p99_cycles"' in text
+
+    def test_unslad_report_omits_the_field(self):
+        assert '"sla_p99_cycles"' not in run_campaign(
+            tiny_matrix(), name="sla-none"
+        ).to_json()
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0, float("inf")])
+    def test_invalid_sla_rejected(self, bad):
+        with pytest.raises(NetDebugError):
+            tiny_matrix(sla_p99_cycles=bad).expand()
+
+    def test_sla_recorded_in_manifest(self, tmp_path):
+        record_campaign(
+            tiny_matrix(sla_p99_cycles=500.0), tmp_path, name="slam"
+        )
+        payload = json.loads(
+            (tmp_path / "slam.manifest.json").read_text()
+        )
+        assert payload["scenarios"][0]["sla_p99_cycles"] == 500.0
+
+
+class TestStdlibExtSweep:
+    """stateful_firewall and int_telemetry ride the campaign sweep."""
+
+    def test_ext_programs_registered_everywhere(self):
+        assert "stateful_firewall" in PROGRAMS
+        assert "int_telemetry" in PROGRAMS
+        assert "stateful_firewall" in PROVISIONERS
+        assert "int_telemetry" in PROVISIONERS
+
+    def test_ext_matrix_smoke_passes_on_timed_workloads(self):
+        # Timed workloads (burst/onoff) let the oracle see the exact
+        # injection timestamps int_telemetry stamps into packets; the
+        # firewall's outbound-only campaign traffic opens its own flow
+        # slots in-band.
+        matrix = ScenarioMatrix(
+            programs=["stateful_firewall", "int_telemetry"],
+            targets=["reference", "sdnet"],
+            workloads=["burst", "onoff"],
+            count=6,
+            seed=5,
+            setup="stateful_firewall",
+        )
+        report = run_campaign(matrix, name="ext", workers=1)
+        assert report.scenarios == 2 * 2 * 1 * 2
+        assert report.passed
+        assert report.injected == 8 * 6
+
+    def test_ext_matrix_parallel_determinism(self):
+        matrix = ScenarioMatrix(
+            programs=["stateful_firewall", "int_telemetry"],
+            targets=["reference"],
+            workloads=["burst"],
+            count=4,
+            seed=9,
+        )
+        assert (
+            run_campaign(matrix, workers=1, name="extd").to_json()
+            == run_campaign(matrix, workers=2, name="extd").to_json()
+        )
+
+    def test_int_telemetry_untimed_workload_flags_timestamp_drift(self):
+        # Without a workload-defined arrival process the oracle cannot
+        # know the device clock at injection, so the stamped ingress_ts
+        # diverges from packet 2 on — deterministically.
+        report_a = run_campaign(
+            tiny_matrix(programs=["int_telemetry"], count=4), name="drift"
+        )
+        report_b = run_campaign(
+            tiny_matrix(programs=["int_telemetry"], count=4), name="drift"
+        )
+        assert not report_a.passed
+        assert report_a.to_json() == report_b.to_json()
 
 
 class TestInstall:

@@ -95,8 +95,10 @@ class TestReferenceExpectation:
 
         real_process = session_module.Interpreter.process
 
-        def stripped(self, wire, ingress_port=0):
-            result = real_process(self, wire, ingress_port=ingress_port)
+        def stripped(self, wire, ingress_port=0, timestamp=0):
+            result = real_process(
+                self, wire, ingress_port=ingress_port, timestamp=timestamp
+            )
             result.metadata.pop("egress_spec", None)
             return result
 

@@ -170,7 +170,9 @@ class TestWorkloadRegistry:
     def test_known_workloads_materialize(self):
         from repro.sim.traffic import WORKLOADS, build_workload
 
-        assert set(WORKLOADS) == {"udp", "imix", "poisson", "malformed"}
+        assert set(WORKLOADS) == {
+            "udp", "imix", "poisson", "burst", "onoff", "malformed"
+        }
         for name in WORKLOADS:
             bundle = build_workload(name, default_flow(), 6, seed=2)
             assert bundle.name == name
@@ -193,6 +195,60 @@ class TestWorkloadRegistry:
         c = build_workload("imix", default_flow(), 10, seed=6)
         assert [p.pack() for p in a.packets] == [p.pack() for p in b.packets]
         assert [p.pack() for p in a.packets] != [p.pack() for p in c.packets]
+
+    def test_burst_workload_is_seed_deterministic_and_bursty(self):
+        from repro.sim.traffic import build_workload
+
+        a = build_workload("burst", default_flow(), 24, seed=7)
+        b = build_workload("burst", default_flow(), 24, seed=7)
+        c = build_workload("burst", default_flow(), 24, seed=8)
+        assert a.times_ns == b.times_ns
+        assert a.times_ns != c.times_ns
+        assert list(a.times_ns) == sorted(a.times_ns)
+        gaps = [
+            second - first
+            for first, second in zip(a.times_ns, a.times_ns[1:])
+        ]
+        # Trains at the peak rate separated by much longer idle gaps.
+        assert max(gaps) > 5 * min(gaps)
+
+    def test_onoff_workload_is_seed_deterministic_two_state(self):
+        from repro.sim.traffic import build_workload
+
+        a = build_workload("onoff", default_flow(), 40, seed=3)
+        b = build_workload("onoff", default_flow(), 40, seed=3)
+        assert a.times_ns == b.times_ns
+        assert list(a.times_ns) == sorted(a.times_ns)
+        gaps = {
+            round(second - first, 3)
+            for first, second in zip(a.times_ns, a.times_ns[1:])
+        }
+        # ON gaps plus at least one OFF-dwell-stretched gap.
+        assert len(gaps) > 1
+        assert max(gaps) > 5 * min(gaps)
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, float("nan")])
+    def test_burst_and_onoff_reject_bad_rates_eagerly(self, rate):
+        from repro.exceptions import SimulationError
+        from repro.sim.traffic import burst_times, onoff_times
+
+        with pytest.raises(SimulationError):
+            burst_times(rate, 4)
+        with pytest.raises(SimulationError):
+            onoff_times(rate, 4)
+
+    def test_burst_shape_parameters_validated(self):
+        from repro.exceptions import SimulationError
+        from repro.sim.traffic import burst_times, onoff_times
+
+        with pytest.raises(SimulationError, match="burst_size"):
+            burst_times(1e6, 4, burst_size=0)
+        with pytest.raises(SimulationError, match="duty_cycle"):
+            burst_times(1e6, 4, duty_cycle=1.5)
+        with pytest.raises(SimulationError, match="p_on_off"):
+            onoff_times(1e6, 4, p_on_off=0.0)
+        with pytest.raises(SimulationError, match="off_scale"):
+            onoff_times(1e6, 4, off_scale=-1.0)
 
     def test_unknown_workload_lists_registry(self):
         from repro.exceptions import SimulationError
