@@ -48,8 +48,9 @@ from ..p4.stdlib import PROGRAMS
 from ..p4.program import P4Program
 from ..packet.headers import mac
 from ..sim.traffic import WORKLOADS, build_workload, default_flow
+from ..target import artifact_cache
 from ..target.compiler import CompiledProgram
-from ..target.device import NetworkDevice
+from ..target.device import ENGINES, NetworkDevice
 from ..target.faults import Fault, FaultKind
 from ..target.pipeline import PacketSnapshot
 from ..target.reference import make_reference_device
@@ -392,32 +393,68 @@ def _scenario_times_ns(scenario: "Scenario") -> tuple[float, ...] | None:
 
 
 def _shard_device(
-    epoch: int, program: str, target: str, setup: str
+    epoch: int,
+    program: str,
+    target: str,
+    setup: str,
+    engine: str = "closure",
 ) -> NetworkDevice:
-    """A fresh device for one shard, reusing the worker's compiled artifact."""
+    """A fresh device for one shard, reusing the worker's compiled artifact.
+
+    Artifact resolution is three-tiered: the in-process epoch-scoped
+    cache first (``memory_hits``), then the persistent on-disk artifact
+    cache (``hits`` — a loaded artifact carries its provisioned table
+    entries, so the setup provisioner is *not* re-run), and only then a
+    full compile + provision, stored back to disk (``stores``). The
+    cache key covers the pre-provision program IR, the target's
+    deviation model and the setup label, so a hit can never alias a
+    differently-provisioned artifact.
+    """
     if _ARTIFACT_EPOCH[0] != epoch:
         _ARTIFACTS.clear()
         _ARTIFACT_EPOCH[0] = epoch
     key = (program, target, setup)
-    device = TARGETS[target](f"{target}-{program}")
+    device = TARGETS[target](f"{target}-{program}", engine=engine)
     compiled = _ARTIFACTS.get(key)
     if compiled is None:
-        compiled = device.load(_build_program(program))
-        if setup:
-            provisioner = PROVISIONERS.get(setup)
-            if provisioner is None:
-                # Reachable in spawn-started workers: they re-import the
-                # module, so provisioners registered at runtime in the
-                # parent do not exist here. Fail with the cause, not a
-                # bare KeyError deep in the pool.
-                raise NetDebugError(
-                    f"setup provisioner {setup!r} is not registered in "
-                    "this worker process; register provisioners at "
-                    "module import time so spawned workers see them"
+        program_obj = _build_program(program)
+        cache = artifact_cache.get_artifact_cache()
+        cache_key = None
+        if cache is not None:
+            try:
+                cache_key = cache.key_for(
+                    program_obj, device.compiler, extra=setup
                 )
-            provisioner(device)
+            except artifact_cache.FingerprintError:
+                cache_key = None
+        compiled = (
+            cache.load(cache_key, device.compiler)
+            if cache_key is not None
+            else None
+        )
+        if compiled is not None:
+            device.install(compiled)
+        else:
+            compiled = device.load(program_obj)
+            if setup:
+                provisioner = PROVISIONERS.get(setup)
+                if provisioner is None:
+                    # Reachable in spawn-started workers: they re-import
+                    # the module, so provisioners registered at runtime
+                    # in the parent do not exist here. Fail with the
+                    # cause, not a bare KeyError deep in the pool.
+                    raise NetDebugError(
+                        f"setup provisioner {setup!r} is not registered "
+                        "in this worker process; register provisioners "
+                        "at module import time so spawned workers see "
+                        "them"
+                    )
+                provisioner(device)
+            if cache_key is not None:
+                cache.store(cache_key, compiled)
         _ARTIFACTS[key] = compiled
     else:
+        artifact_cache.record_memory_hit()
         device.install(compiled)
     return device
 
@@ -482,10 +519,15 @@ def _grade_sla(scenario: "Scenario", report: SessionReport,
 
 
 def _run_shard(job: tuple) -> "ScenarioResult":
-    epoch, scenario, faults, keep_suite = job
+    # Tolerant unpack: jobs grew an engine element; older 4-tuples (e.g.
+    # from a coordinator one minor version behind) default to closures.
+    epoch, scenario, faults, keep_suite, *rest = job
+    engine = rest[0] if rest else "closure"
+    cache_before = artifact_cache.stats_snapshot()
     device = _shard_device(
-        epoch, scenario.program, scenario.target, scenario.setup
+        epoch, scenario.program, scenario.target, scenario.setup, engine
     )
+    cache_delta = artifact_cache.stats_delta(cache_before)
     for fault in faults:
         device.injector.inject(fault)
 
@@ -546,7 +588,12 @@ def _run_shard(job: tuple) -> "ScenarioResult":
         if keep_suite
         else None
     )
-    return ScenarioResult(scenario=scenario, report=report, suite=suite)
+    return ScenarioResult(
+        scenario=scenario,
+        report=report,
+        suite=suite,
+        cache_stats=cache_delta if any(cache_delta.values()) else None,
+    )
 
 
 def _suite_name(scenario: Scenario) -> str:
@@ -554,11 +601,14 @@ def _suite_name(scenario: Scenario) -> str:
 
 
 def _replay_shard(job: tuple) -> "ScenarioResult":
-    epoch, scenario, faults, directory, times_ns = job
+    epoch, scenario, faults, directory, times_ns, *rest = job
+    engine = rest[0] if rest else "closure"
     suite = RegressionSuite.load(directory, _suite_name(scenario))
+    cache_before = artifact_cache.stats_snapshot()
     device = _shard_device(
-        epoch, scenario.program, scenario.target, scenario.setup
+        epoch, scenario.program, scenario.target, scenario.setup, engine
     )
+    cache_delta = artifact_cache.stats_delta(cache_before)
     for fault in faults:
         device.injector.inject(fault)
     # Replay at the *recorded* injection timestamps (the manifest
@@ -580,7 +630,11 @@ def _replay_shard(job: tuple) -> "ScenarioResult":
     report.measurements["cycles_per_packet"] = (
         device.clock_cycles / report.injected if report.injected else 0.0
     )
-    return ScenarioResult(scenario=scenario, report=report)
+    return ScenarioResult(
+        scenario=scenario,
+        report=report,
+        cache_stats=cache_delta if any(cache_delta.values()) else None,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -595,6 +649,12 @@ class ScenarioResult:
     report: SessionReport
     #: Present only while recording (dropped before reports are returned).
     suite: RegressionSuite | None = None
+    #: Compile-cache counter movement while acquiring this shard's
+    #: device (hits/misses/stores/memory_hits), or None when nothing
+    #: moved. Like ``suite``, deliberately NOT serialized: the golden
+    #: baselines pin ``to_dict`` byte-for-byte, and cache behaviour is
+    #: environment, not outcome.
+    cache_stats: dict[str, int] | None = None
 
     @property
     def passed(self) -> bool:
@@ -671,6 +731,11 @@ class CampaignReport(CanonicalJsonReport):
 
     name: str
     results: list[ScenarioResult] = dc_field(default_factory=list)
+    #: Out-of-band run metadata (e.g. ``meta["compile_cache"]`` with the
+    #: aggregated artifact-cache counters). Excluded from ``to_dict`` so
+    #: canonical JSON — and the committed golden baselines — stay
+    #: byte-identical regardless of cache temperature.
+    meta: dict = dc_field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -889,7 +954,15 @@ def assemble_report(
             f"campaign {name!r}: executor returned {len(ordered)} of "
             f"{expected} shard results"
         )
-    return CampaignReport(name=name, results=ordered)
+    report = CampaignReport(name=name, results=ordered)
+    totals: dict[str, int] = {}
+    for result in ordered:
+        stats = getattr(result, "cache_stats", None)
+        if stats:
+            for counter, moved in stats.items():
+                totals[counter] = totals.get(counter, 0) + moved
+    report.meta["compile_cache"] = totals
+    return report
 
 
 def _streaming_ingest(
@@ -935,6 +1008,14 @@ def _execute(
     return executor.execute(jobs, shard_fn, on_result=ingest)
 
 
+def _require_known_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise NetDebugError(
+            f"unknown execution engine {engine!r}; "
+            f"choose one of {', '.join(ENGINES)}"
+        )
+
+
 def run_campaign(
     matrix: ScenarioMatrix,
     workers: int = 1,
@@ -943,6 +1024,7 @@ def run_campaign(
     executor: ShardExecutor | None = None,
     on_result: Callable[[str, SessionReport, CampaignProgress], None]
     | None = None,
+    engine: str = "closure",
 ) -> CampaignReport:
     """Expand ``matrix`` and execute every scenario shard.
 
@@ -961,7 +1043,12 @@ def run_campaign(
     With ``record_dir`` set the campaign is also frozen to regression
     artifacts — one :class:`RegressionSuite` per scenario plus
     ``<name>.manifest.json`` — replayable via :func:`replay_campaign`.
+
+    ``engine`` selects the shard execution engine (``"closure"``
+    default, ``"batch"`` for the block kernel, ``"tree"`` for the
+    spec-faithful baseline); all three produce byte-identical reports.
     """
+    _require_known_engine(engine)
     scenarios = matrix.expand()
     record = record_dir is not None
     if record:
@@ -975,7 +1062,7 @@ def run_campaign(
                     )
     epoch = next(_EPOCH_COUNTER)
     jobs = [
-        (epoch, scenario, matrix.faults[scenario.fault], record)
+        (epoch, scenario, matrix.faults[scenario.fault], record, engine)
         for scenario in scenarios
     ]
     results = _execute(
@@ -1097,6 +1184,7 @@ def replay_campaign(
     executor: ShardExecutor | None = None,
     on_result: Callable[[str, SessionReport, CampaignProgress], None]
     | None = None,
+    engine: str = "closure",
 ) -> CampaignReport:
     """Replay a recorded campaign from its artifacts on fresh devices.
 
@@ -1106,8 +1194,11 @@ def replay_campaign(
     and ``on_result`` behave exactly as in :func:`run_campaign` —
     replay shards ride the same dispatch/reassembly seam (a cluster
     replays an archived campaign the way it runs a live one, reading
-    artifacts from a shared filesystem path).
+    artifacts from a shared filesystem path). With a warm artifact
+    cache replay skips recompilation entirely (see
+    :mod:`repro.target.artifact_cache`).
     """
+    _require_known_engine(engine)
     directory = Path(directory)
     manifest_path = directory / f"{name}.manifest.json"
     if not manifest_path.exists():
@@ -1156,7 +1247,7 @@ def replay_campaign(
             )
         )
     epoch = next(_EPOCH_COUNTER)
-    jobs = [(epoch, *job) for job in jobs]
+    jobs = [(epoch, *job, engine) for job in jobs]
     results = _execute(
         jobs, _replay_shard, workers, executor,
         _streaming_ingest(on_result, len(jobs)),

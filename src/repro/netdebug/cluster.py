@@ -63,7 +63,7 @@ from .campaign import (
     run_campaign,
 )
 from .report import SessionReport
-from .transport import Channel
+from .transport import Channel, require_cache_version, stamp_cache_version
 
 __all__ = [
     "SHARD_FUNCTIONS",
@@ -361,12 +361,14 @@ class Coordinator:
                 job_id = self._pending.popleft()
                 self._attempts[job_id] = self._attempts.get(job_id, 0) + 1
                 worker.outstanding.add(job_id)
-                message = {
-                    "type": "job",
-                    "id": job_id,
-                    "fn": self._fn_name,
-                    "job": self._jobs[job_id],
-                }
+                message = stamp_cache_version(
+                    {
+                        "type": "job",
+                        "id": job_id,
+                        "fn": self._fn_name,
+                        "job": self._jobs[job_id],
+                    }
+                )
             try:
                 worker.channel.send(message, binary=True)
             except (OSError, ClusterError):
@@ -521,6 +523,7 @@ def _serve_inline(
                 f"worker got unexpected message type "
                 f"{message.get('type')!r}"
             )
+        require_cache_version(message)
         if crash_after is not None and completed >= crash_after:
             os._exit(_CRASH_EXIT)  # simulate dying mid-shard
         _execute_and_reply(channel, message)
@@ -546,6 +549,7 @@ def _serve_pool(
                     f"worker got unexpected message type "
                     f"{message.get('type')!r}"
                 )
+            require_cache_version(message)
             if crash_after is not None:
                 with completed_lock:
                     crash_now = completed >= crash_after
@@ -713,11 +717,12 @@ def run_cluster_campaign(
     on_result=None,
     retry_budget: int = DEFAULT_RETRY_BUDGET,
     timeout: float | None = None,
+    engine: str = "closure",
 ) -> CampaignReport:
     """Run ``matrix`` on a localhost coordinator + ``workers`` worker
     processes over the real socket transport — the one-call launcher
     tests, CI and benchmarks use. Byte-identical to ``run_campaign``
-    on the same matrix."""
+    on the same matrix (and across engines)."""
     executor = ClusterExecutor(
         local_workers=workers,
         slots=slots,
@@ -730,6 +735,7 @@ def run_cluster_campaign(
         record_dir=record_dir,
         executor=executor,
         on_result=on_result,
+        engine=engine,
     )
 
 
@@ -819,6 +825,9 @@ def _add_matrix_args(parser: argparse.ArgumentParser) -> None:
                         help="named provisioner ('' for none)")
     parser.add_argument("--sla-p99", type=float, default=None,
                         help="optional p99 latency SLA in cycles")
+    parser.add_argument("--engine", default="closure",
+                        choices=("tree", "closure", "batch"),
+                        help="execution engine for shard devices")
     parser.add_argument("--name", default="campaign")
     parser.add_argument("--out", default="",
                         help="write the campaign report JSON here")
@@ -902,6 +911,7 @@ def main(argv: list[str] | None = None) -> int:
                 name=name,
                 executor=executor,
                 on_result=None if args.quiet else ProgressPrinter(),
+                engine=args.engine,
             )
             return _finish_campaign(report, args)
         # local
@@ -914,6 +924,7 @@ def main(argv: list[str] | None = None) -> int:
             retry_budget=args.retry_budget,
             timeout=args.timeout,
             on_result=None if args.quiet else ProgressPrinter(),
+            engine=args.engine,
         )
         return _finish_campaign(report, args)
     except ClusterError as exc:

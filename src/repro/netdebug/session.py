@@ -18,7 +18,7 @@ from ..exceptions import NetDebugError
 from ..p4.interpreter import Interpreter, Verdict
 from ..p4.program import P4Program
 from ..target.device import FLOOD_PORT, NetworkDevice
-from ..target.pipeline import TAP_OUTPUT
+from ..target.pipeline import PacketSnapshot, TAP_INPUT, TAP_OUTPUT
 from .checker import CheckRule, ExpectedOutput, OutputChecker
 from .generator import PacketGenerator, StreamSpec
 from .report import SessionReport
@@ -112,6 +112,144 @@ class ValidationSession:
     oracle: Callable[[bytes, int], ExpectedOutput] | None = None
 
 
+def _block_eligible(
+    device: NetworkDevice, session: ValidationSession
+) -> bool:
+    """Whether the session can run through the batch kernel.
+
+    The block path replays the lockstep protocol after the kernel runs,
+    which is only equivalent when nothing needs to observe or perturb
+    packets mid-flight: no taps, no armed faults, checking at the
+    output tap, input-tap injection, and no custom oracle (an arbitrary
+    callable may read device state between injections). Wrapped streams
+    must be fully timed — an untimed probe's wire bytes embed the
+    running clock, which the kernel only knows afterwards.
+    """
+    if getattr(device, "engine", None) != "batch":
+        return False
+    if device._batch is None:
+        return False
+    if session.tap != TAP_OUTPUT or session.oracle is not None:
+        return False
+    injector = device.injector
+    if injector is not None and injector._active:
+        return False
+    if device.pipeline.has_taps():
+        return False
+    for stream in session.streams:
+        if stream.inject_at != TAP_INPUT:
+            return False
+        if stream.wrap:
+            count = (
+                len(stream.packets)
+                if stream.packets is not None
+                else stream.count
+            )
+            if (
+                stream.timestamps is None
+                or len(stream.timestamps) < count
+            ):
+                return False
+    return True
+
+
+def _run_session_block(
+    device: NetworkDevice, session: ValidationSession
+) -> SessionReport:
+    """Block-wise session execution (batch engine).
+
+    Injects each stream as one block through the batch kernel, then
+    replays the arm → observe → disarm protocol per packet against the
+    kernel's outcomes — the output tap fires only for forwarded
+    packets, so a synthesized output snapshot per forwarded run
+    reproduces exactly what the attached checker would have seen.
+    """
+    generator = PacketGenerator(device)
+    for stream in session.streams:
+        generator.configure(stream)
+
+    checker = OutputChecker(device, tap=session.tap)
+    for rule in session.checks:
+        checker.add_check(rule)
+
+    explicit = list(session.expectations)
+    explicit_index = 0
+    sent_per_stream: dict[int, int] = {}
+
+    for stream in session.streams:
+        packets = list(stream.materialize())
+        if stream.wrap:
+            wires = [
+                make_probe(
+                    stream.stream_id,
+                    seq_no,
+                    timestamp=stream.timestamps[seq_no],
+                    inner=packet,
+                ).pack()
+                for seq_no, packet in enumerate(packets)
+            ]
+        else:
+            wires = [packet.pack() for packet in packets]
+        timestamps = (
+            list(stream.timestamps)
+            if stream.timestamps is not None
+            else None
+        )
+        outcomes = device.inject_block(wires, timestamps=timestamps)
+
+        for seq_no, (timestamp, run) in enumerate(outcomes):
+            expectation: ExpectedOutput | None = None
+            if explicit:
+                if explicit_index >= len(explicit):
+                    raise NetDebugError(
+                        f"session {session.name!r}: fewer expectations "
+                        "than injected packets"
+                    )
+                expectation = explicit[explicit_index]
+                explicit_index += 1
+            elif session.use_reference_oracle:
+                expectation = reference_expectation(
+                    device.program, wires[seq_no],
+                    label=f"s{stream.stream_id}#{seq_no}",
+                    num_ports=len(device.ports),
+                    timestamp=timestamp,
+                )
+
+            if expectation is not None:
+                checker.arm(expectation)
+            if run.result.verdict is Verdict.FORWARDED:
+                out_packet = run.result.packet
+                out_wire = run.output_wire
+                if out_wire is None:
+                    out_wire = out_packet.pack()
+                    run.output_wire = out_wire
+                metadata = run.result.metadata
+                metadata["_cycles_elapsed"] = run.latency_cycles
+                checker._on_snapshot(
+                    PacketSnapshot(
+                        TAP_OUTPUT, out_wire, out_packet, metadata, True
+                    )
+                )
+            if expectation is not None:
+                checker.disarm()
+        sent_per_stream[stream.stream_id] = len(wires)
+    checker.finalize(
+        sent_per_stream if any(s.wrap for s in session.streams) else None
+    )
+
+    return SessionReport(
+        session=session.name,
+        device=device.name,
+        program=device.program.name,
+        checks=checker.outcomes(),
+        findings=list(checker.findings),
+        streams=dict(checker.streams),
+        latency=checker.latency,
+        injected=sum(sent_per_stream.values()),
+        observed=checker.observed,
+    )
+
+
 def run_session(
     device: NetworkDevice, session: ValidationSession
 ) -> SessionReport:
@@ -122,9 +260,16 @@ def run_session(
     plane, the tap observation (synchronous in this simulation) consumes
     the expectation, and the window is closed. The report aggregates
     check outcomes, stream statistics, latency samples and all findings.
+
+    On a ``batch``-engine device, sessions that need no mid-flight
+    observation run block-wise through the batch kernel instead (see
+    :func:`_run_session_block`); the report is identical byte for byte.
     """
     if not session.streams:
         raise NetDebugError(f"session {session.name!r} has no streams")
+
+    if _block_eligible(device, session):
+        return _run_session_block(device, session)
 
     generator = PacketGenerator(device)
     for stream in session.streams:

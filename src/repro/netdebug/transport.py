@@ -31,6 +31,7 @@ import struct
 import threading
 
 from ..exceptions import ClusterError
+from ..target.artifact_cache import CACHE_VERSION
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -38,6 +39,8 @@ __all__ = [
     "KIND_PICKLE",
     "send_message",
     "recv_message",
+    "stamp_cache_version",
+    "require_cache_version",
     "Channel",
 ]
 
@@ -49,6 +52,36 @@ _HEADER = struct.Struct(">IB")
 
 KIND_JSON = 0x4A  # "J"
 KIND_PICKLE = 0x50  # "P"
+
+
+def stamp_cache_version(message: dict) -> dict:
+    """Stamp a shard job frame with the artifact-cache format version.
+
+    Shard jobs are pickle payloads carrying compiled-artifact-adjacent
+    objects; a worker running an older build would deserialize them
+    into mismatched shapes and fail obscurely mid-shard. Stamping the
+    :data:`~repro.target.artifact_cache.CACHE_VERSION` into the frame
+    lets :func:`require_cache_version` reject the skew up front.
+    """
+    message["cache_version"] = CACHE_VERSION
+    return message
+
+
+def require_cache_version(message: dict) -> None:
+    """Reject a job frame whose artifact-cache version does not match.
+
+    Raises :class:`ClusterError` when the stamp is missing (coordinator
+    predates the stamp) or differs (stale worker): fail fast with the
+    skew named, instead of deserializing mismatched artifacts.
+    """
+    stamped = message.get("cache_version")
+    if stamped != CACHE_VERSION:
+        raise ClusterError(
+            f"shard job frame carries artifact-cache version {stamped!r} "
+            f"but this worker speaks version {CACHE_VERSION}; coordinator "
+            "and worker builds are skewed — upgrade the stale side before "
+            "dispatching shards"
+        )
 
 
 def _recv_exact(sock: socket.socket, size: int) -> bytes | None:

@@ -13,8 +13,14 @@ the deparser (:mod:`~repro.target.tofino`) — a *differently* deviant
 third corner for 3-way differential sweeps.
 """
 
+from .artifact_cache import (
+    ArtifactCache,
+    CACHE_VERSION,
+    get_artifact_cache,
+)
+from .batch import BatchProgram, build_batch_program, get_batch_program
 from .compiler import CompiledProgram, Diagnostic, TargetCompiler
-from .device import FLOOD_PORT, DeviceStats, NetworkDevice, Port
+from .device import ENGINES, FLOOD_PORT, DeviceStats, NetworkDevice, Port
 from .fastpath import FastProgram, compile_program
 from .faults import Fault, FaultInjector, FaultKind
 from .limits import REFERENCE_LIMITS, SDNET_LIMITS, TOFINO_LIMITS, ArchLimits
@@ -49,6 +55,7 @@ __all__ = [
     "Port",
     "DeviceStats",
     "FLOOD_PORT",
+    "ENGINES",
     # pipeline
     "StagedPipeline",
     "PacketSnapshot",
@@ -62,6 +69,13 @@ __all__ = [
     # fast path
     "FastProgram",
     "compile_program",
+    # batch kernel and artifact cache
+    "BatchProgram",
+    "build_batch_program",
+    "get_batch_program",
+    "ArtifactCache",
+    "CACHE_VERSION",
+    "get_artifact_cache",
     # targets
     "ReferenceCompiler",
     "make_reference_device",

@@ -67,6 +67,11 @@ class CompiledProgram:
     fast: FastProgram | None = field(default=None, repr=False)
     quantize_tcam: bool = False
     deparse_field_budget: int | None = None
+    #: Lazily-built block kernel (repro.target.batch); one per artifact,
+    #: excluded from pickling by the artifact cache like ``fast``.
+    batch: object | None = field(
+        default=None, repr=False, compare=False
+    )
 
 
 class TargetCompiler:

@@ -32,10 +32,14 @@ from .faults import FaultInjector
 from .limits import ArchLimits
 from .pipeline import StagedPipeline, TAP_INPUT, TargetRun
 
-__all__ = ["FLOOD_PORT", "Port", "DeviceStats", "NetworkDevice"]
+__all__ = ["ENGINES", "FLOOD_PORT", "Port", "DeviceStats", "NetworkDevice"]
 
 #: Egress value meaning "flood to every port except the ingress".
 FLOOD_PORT = 0x1FF
+
+#: Execution engines a device can run: spec-faithful tree-walking,
+#: per-packet compiled closures, or the block-compiled batch kernel.
+ENGINES = ("tree", "closure", "batch")
 
 
 @dataclass
@@ -78,7 +82,15 @@ class NetworkDevice:
         compiler: TargetCompiler,
         num_ports: int = 8,
         use_compiled: bool = True,
+        engine: str | None = None,
     ):
+        if engine is None:
+            engine = "closure" if use_compiled else "tree"
+        if engine not in ENGINES:
+            raise TargetError(
+                f"unknown execution engine {engine!r}; "
+                f"choose one of {', '.join(ENGINES)}"
+            )
         self.name = name
         self.compiler = compiler
         self.limits: ArchLimits = compiler.limits
@@ -86,11 +98,13 @@ class NetworkDevice:
         self.stats = DeviceStats()
         self.injector = FaultInjector()
         self.clock_cycles = 0
-        self._use_compiled = use_compiled
+        self.engine = engine
+        self._use_compiled = engine != "tree"
         self._compiled: CompiledProgram | None = None
         self._pipeline: StagedPipeline | None = None
         self._control: RuntimeAPI | None = None
         self._state: RuntimeState | None = None
+        self._batch = None
 
     # ------------------------------------------------------------------
     # Program lifecycle
@@ -129,6 +143,12 @@ class NetworkDevice:
             injector=self.injector,
             use_compiled=self._use_compiled,
         )
+        if self.engine == "batch":
+            from .batch import get_batch_program
+
+            self._batch = get_batch_program(compiled, self.limits)
+        else:
+            self._batch = None
         return compiled
 
     def _require_pipeline(self) -> StagedPipeline:
@@ -292,6 +312,86 @@ class NetworkDevice:
             account(run)
             results.append((timestamp, run))
         return results
+
+    def inject_block(
+        self,
+        wires,
+        timestamps=None,
+        port: int = 0,
+        on_error: str = "raise",
+    ):
+        """Inject a block of test frames through the batch kernel.
+
+        Semantically equivalent to calling :meth:`inject` per frame at
+        the ``input`` tap (``timestamps`` optionally pins per-frame
+        timestamps; missing entries fall back to the running clock),
+        but executed block-wise when the device runs the ``batch``
+        engine, no taps are attached and no faults are armed — the
+        kernel cannot publish snapshots or model faults, so those
+        cases fall back to the per-packet pipeline transparently.
+
+        Returns ``(timestamp, outcome)`` per frame, where ``outcome``
+        is the :class:`TargetRun` or — with ``on_error="capture"`` —
+        the exception the per-packet path would have raised. The
+        default ``on_error="raise"`` re-raises the first (lowest-index)
+        captured error after accounting all non-errored frames.
+        """
+        wires = list(wires)
+        pipeline = self._require_pipeline()
+        batch = self._batch
+        injector = self.injector
+        if (
+            batch is not None
+            and not pipeline.has_taps()
+            and not (injector is not None and injector._active)
+        ):
+            outcomes = batch.run_block(
+                wires,
+                clock=self.clock_cycles,
+                timestamps=timestamps,
+                ingress_port=port,
+                counters=self._state.counters,
+                registers=self._state.registers,
+            )
+        else:
+            outcomes = self._inject_block_fallback(
+                wires, timestamps, port
+            )
+        account = self._account
+        results = []
+        first_error = None
+        for timestamp, run, error in outcomes:
+            if error is not None:
+                if first_error is None:
+                    first_error = error
+                results.append((timestamp, error))
+            else:
+                account(run)
+                results.append((timestamp, run))
+        if on_error == "raise" and first_error is not None:
+            raise first_error
+        return results
+
+    def _inject_block_fallback(self, wires, timestamps, port):
+        """Per-packet block execution with batch-identical outcomes."""
+        pipeline = self._pipeline
+        clock = self.clock_cycles
+        covered = len(timestamps) if timestamps is not None else 0
+        outcomes = []
+        for index, wire in enumerate(wires):
+            timestamp = (
+                timestamps[index] if index < covered else clock
+            )
+            try:
+                run = pipeline.process(
+                    wire, ingress_port=port, timestamp=timestamp
+                )
+            except Exception as exc:
+                outcomes.append((timestamp, None, exc))
+                continue
+            clock += run.latency_cycles
+            outcomes.append((timestamp, run, None))
+        return outcomes
 
     # ------------------------------------------------------------------
     # Accounting and emission

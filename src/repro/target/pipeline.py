@@ -237,6 +237,12 @@ class StagedPipeline:
                 f"callback is not attached at tap {stage!r}"
             ) from None
 
+    def has_taps(self) -> bool:
+        """True when any tap is attached anywhere (the batch kernel
+        cannot publish snapshots, so the device falls back to the
+        per-packet path while observers are present)."""
+        return any(self._taps.values())
+
     def stage_cycles(self, stage: str, frame_bytes: int) -> int:
         """Deterministic cycle cost of one stage for one frame."""
         if stage in (TAP_INPUT, TAP_OUTPUT):

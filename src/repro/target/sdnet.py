@@ -41,6 +41,7 @@ def make_sdnet_device(
     name: str = "sume0",
     num_ports: int = 4,
     use_compiled: bool = True,
+    engine: str | None = None,
 ) -> NetworkDevice:
     """An SDNet-programmed NetFPGA SUME: 4 ports, deviant datapath."""
     return NetworkDevice(
@@ -48,4 +49,5 @@ def make_sdnet_device(
         SDNetCompiler(),
         num_ports=num_ports,
         use_compiled=use_compiled,
+        engine=engine,
     )

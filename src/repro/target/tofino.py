@@ -92,6 +92,7 @@ def make_tofino_device(
     name: str = "tofino0",
     num_ports: int = 16,
     use_compiled: bool = True,
+    engine: str | None = None,
 ) -> NetworkDevice:
     """A Tofino-programmed switch: 16 ports, quantizing/truncating datapath."""
     return NetworkDevice(
@@ -99,4 +100,5 @@ def make_tofino_device(
         TofinoCompiler(),
         num_ports=num_ports,
         use_compiled=use_compiled,
+        engine=engine,
     )

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_compile_cache(tmp_path, monkeypatch):
+    """Point the persistent compiled-artifact cache at a per-test dir.
+
+    Without this, tests populate (and read!) the developer's real
+    ``~/.cache/repro-target``, making runs order-dependent and leaving
+    artifacts behind. ``monkeypatch.setenv`` mutates ``os.environ``
+    itself, so spawned cluster workers inherit the isolated path too.
+    """
+    monkeypatch.setenv(
+        "REPRO_COMPILE_CACHE", str(tmp_path / "compile-cache")
+    )
+    yield

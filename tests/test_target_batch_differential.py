@@ -1,0 +1,209 @@
+"""3-engine differential: the batch kernel is semantically invisible.
+
+The batch engine only counts if a block run is indistinguishable from
+per-packet execution: for every stdlib(+ext) program, on all three
+targets — including Tofino's TCAM quantization and deparse field
+budget — ``inject_block`` must produce exactly the verdicts, output
+bytes, egress ports, death stages, latencies, stateful-object contents
+and device accounting of the per-packet engines, and campaign reports
+must stay **byte-identical** across ``tree``/``closure``/``batch``.
+"""
+
+import pytest
+
+from repro.exceptions import CompileError
+from repro.netdebug.campaign import run_campaign
+from repro.netdebug.diffing import baseline_matrix
+from repro.netdebug.generator import StreamSpec
+from repro.netdebug.session import ValidationSession, run_session
+from repro.p4.stdlib import PROGRAMS
+from repro.sim.traffic import default_flow, malformed_mix
+from repro.target.device import NetworkDevice
+from repro.target.reference import ReferenceCompiler
+from repro.target.sdnet import SDNetCompiler
+from repro.target.tofino import TofinoCompiler
+
+from tests.test_target_fastpath_differential import (
+    ALL_FACTORIES,
+    install_entries,
+    run_one,
+    workload,
+)
+
+COMPILERS = {
+    "reference": ReferenceCompiler,
+    "sdnet": SDNetCompiler,
+    "tofino": TofinoCompiler,
+}
+
+
+def make_device(name, compiler_cls, factory, engine):
+    # Same name across engines: reports embed the device name, and the
+    # cross-engine identity assertions compare reports wholesale.
+    device = NetworkDevice(
+        name, compiler_cls(), num_ports=8, engine=engine
+    )
+    try:
+        device.load(factory())
+    except CompileError:
+        pytest.skip(
+            f"{factory.__name__} does not fit {compiler_cls.__name__}"
+        )
+    install_entries(device)
+    return device
+
+
+def normalize(outcome):
+    """Block outcome -> the tuple shape ``run_one`` produces."""
+    _timestamp, run = outcome
+    if isinstance(run, Exception):
+        return ("raised", type(run).__name__, str(run))
+    result = run.result
+    return (
+        result.verdict.value,
+        result.metadata.get("egress_spec"),
+        result.packet.pack() if result.packet is not None else None,
+        run.died_at,
+        run.latency_cycles,
+    )
+
+
+def assert_block_matches(per_packet_device, batch_device, frames):
+    """One block on ``batch_device`` ≡ frame-by-frame injection."""
+    expected = [run_one(per_packet_device, wire) for wire in frames]
+    outcomes = batch_device.inject_block(frames, on_error="capture")
+    got = [normalize(outcome) for outcome in outcomes]
+    for index, (g, e) in enumerate(zip(got, expected)):
+        assert g == e, f"frame {index}: {g} != {e}"
+    assert len(got) == len(expected)
+    fast_state = batch_device.pipeline.state
+    slow_state = per_packet_device.pipeline.state
+    assert fast_state.counters == slow_state.counters
+    assert fast_state.registers == slow_state.registers
+    assert batch_device.clock_cycles == per_packet_device.clock_cycles
+    assert batch_device.stats == per_packet_device.stats
+
+
+@pytest.mark.parametrize("target", sorted(COMPILERS))
+@pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+def test_batch_block_matches_closure(name, target):
+    """Every program × target: block run ≡ closure engine, exactly."""
+    compiler_cls = COMPILERS[target]
+    closure = make_device(
+        f"bd-{name}-{target}", compiler_cls, ALL_FACTORIES[name], "closure"
+    )
+    batch = make_device(
+        f"bd-{name}-{target}", compiler_cls, ALL_FACTORIES[name], "batch"
+    )
+    assert_block_matches(closure, batch, workload())
+
+
+# ---------------------------------------------------------------------------
+# Edge cases pinned against the tree-walking oracle
+# ---------------------------------------------------------------------------
+
+def test_batch_tofino_deparse_truncation_matches_tree():
+    """Tofino's deparse field budget truncates forwarded bytes; the
+    batch deparse column must truncate identically (ethernet + ipv4 is
+    16 fields against a budget of 14)."""
+    tree = make_device(
+        "tof-trunc", TofinoCompiler, PROGRAMS["ipv4_router"], "tree"
+    )
+    batch = make_device(
+        "tof-trunc", TofinoCompiler, PROGRAMS["ipv4_router"], "batch"
+    )
+    frames = workload()
+    assert_block_matches(tree, batch, frames)
+    # The deviation actually fired: at least one forwarded frame left
+    # the device shorter than it entered.
+    truncated = [
+        normalize(o)
+        for o in make_device(
+            "tof-trunc2", TofinoCompiler, PROGRAMS["ipv4_router"], "batch"
+        ).inject_block(frames, on_error="capture")
+    ]
+    assert any(
+        out[0] == "forwarded" and out[2] is not None
+        for out in truncated
+    )
+
+
+def test_batch_header_add_remove_mid_block_matches_tree():
+    """``mpls_tunnel`` pushes/pops headers for matched prefixes only,
+    so lanes diverge in header layout mid-block; every lane must still
+    deparse byte-for-byte like the tree walk."""
+    for target in ("reference", "sdnet"):
+        tree = make_device(
+            f"mpls-{target}", COMPILERS[target], PROGRAMS["mpls_tunnel"],
+            "tree",
+        )
+        batch = make_device(
+            f"mpls-{target}", COMPILERS[target], PROGRAMS["mpls_tunnel"],
+            "batch",
+        )
+        assert_block_matches(tree, batch, workload())
+
+
+def test_batch_interleaved_rejects_match_tree():
+    """Parser-rejected frames interleaved with accepted ones must not
+    shift the surviving lanes' outcomes, clocks or accounting."""
+    frames = [
+        packet.pack()
+        for packet, _ in malformed_mix(default_flow(), 32, 0.5, seed=77)
+    ]
+    tree = make_device(
+        "rej", ReferenceCompiler, PROGRAMS["strict_parser"], "tree"
+    )
+    batch = make_device(
+        "rej", ReferenceCompiler, PROGRAMS["strict_parser"], "batch"
+    )
+    assert_block_matches(tree, batch, frames)
+    # The mix really interleaved: some lanes rejected, some survived.
+    assert 0 < batch.stats.parser_rejected < len(frames)
+
+
+# ---------------------------------------------------------------------------
+# Session- and campaign-level byte identity
+# ---------------------------------------------------------------------------
+
+ENGINES = ("tree", "closure", "batch")
+
+
+def _oracle_session(count=12):
+    packets = [
+        packet for packet, _ in malformed_mix(
+            default_flow(), count, 0.4, seed=2018
+        )
+    ]
+    return ValidationSession(
+        name="engine-diff",
+        streams=[StreamSpec(stream_id=1, packets=packets)],
+        use_reference_oracle=True,
+    )
+
+
+@pytest.mark.parametrize("target", sorted(COMPILERS))
+def test_session_reports_identical_across_engines(target):
+    """The batch session block path reproduces the lockstep protocol's
+    SessionReport exactly — findings, latencies and stream stats."""
+    reports = []
+    for engine in ENGINES:
+        device = make_device(
+            f"sess-{target}", COMPILERS[target],
+            PROGRAMS["acl_firewall"], engine,
+        )
+        reports.append(run_session(device, _oracle_session()).to_dict())
+    assert reports[0] == reports[1] == reports[2]
+
+
+def test_campaign_reports_byte_identical_across_engines():
+    """The golden-baseline matrix renders to identical JSON bytes under
+    all three engines — cache counters and engine choice must never
+    leak into the canonical report."""
+    texts = {}
+    for engine in ENGINES:
+        report = run_campaign(
+            baseline_matrix(), name="engine-diff", engine=engine
+        )
+        texts[engine] = report.to_json()
+    assert texts["tree"] == texts["closure"] == texts["batch"]
