@@ -1,0 +1,100 @@
+"""EXP-ORACLE — what session-scoped prediction costs.
+
+The stateful oracle threads one long-lived interpreter through the
+whole packet sequence instead of building a fresh one per packet, so
+two things are worth pinning on a big bidirectional sweep:
+
+* **throughput** — expectations per second for the stateful vs the
+  stateless oracle over the same 10k-packet ``tcp_bidir``-style
+  workload (both rows land in ``BENCH_perf.json``);
+* **semantics** — the two predictions must actually diverge on the
+  sweep: the stateful oracle forwards the return-path packets of
+  opened flows that the stateless oracle keeps forbidding.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.netdebug.oracle import ReferenceOracle, StatelessOracle
+from repro.p4.stdlib_ext import stateful_firewall
+from repro.sim.traffic import OUTSIDE_PORT, bidirectional_flows, default_flow
+
+SWEEP_PACKETS = 10_000
+SEED = 2018
+
+
+def _sweep():
+    pairs = bidirectional_flows(default_flow(), SWEEP_PACKETS, seed=SEED)
+    frames = [packet.pack() for packet, _ in pairs]
+    ports = [port for _, port in pairs]
+    return frames, ports
+
+
+def _throughput(factory, frames, ports):
+    program = stateful_firewall()
+    best = float("inf")
+    expectations = None
+    for _ in range(3):
+        oracle = factory(program, num_ports=8)
+        start = time.perf_counter()
+        expectations = oracle.expect_all(
+            frames, ingress_ports=ports, label="bench"
+        )
+        best = min(best, time.perf_counter() - start)
+    return len(frames) / best, expectations
+
+
+def test_stateful_vs_stateless_oracle_throughput(benchmark):
+    """10k bidirectional packets through both oracle semantics."""
+    frames, ports = _sweep()
+
+    def experiment():
+        stateful_rate, stateful_exp = _throughput(
+            ReferenceOracle, frames, ports
+        )
+        stateless_rate, stateless_exp = _throughput(
+            StatelessOracle, frames, ports
+        )
+        return stateful_rate, stateless_rate, stateful_exp, stateless_exp
+
+    stateful_rate, stateless_rate, stateful_exp, stateless_exp = (
+        benchmark.pedantic(experiment, rounds=1, iterations=1)
+    )
+
+    assert len(stateful_exp) == len(stateless_exp) == SWEEP_PACKETS
+    # The semantics divergence: return-path packets of opened flows are
+    # forwarded only under session-scoped state.
+    opened_returns = sum(
+        1
+        for port, stateful_e, stateless_e in zip(
+            ports, stateful_exp, stateless_exp
+        )
+        if port == OUTSIDE_PORT
+        and not stateful_e.forbid
+        and stateless_e.forbid
+    )
+    assert opened_returns > 0
+    ratio = stateful_rate / stateless_rate
+
+    emit(
+        "EXP-ORACLE — stateful vs stateless oracle throughput",
+        [
+            f"{'oracle':>10} {'expectations/s':>16}",
+            f"{'stateful':>10} {stateful_rate:>16,.0f}",
+            f"{'stateless':>10} {stateless_rate:>16,.0f}",
+            f"stateful/stateless ratio: {ratio:.2f}x",
+            f"return-path flips (forwarded only when stateful): "
+            f"{opened_returns}/{SWEEP_PACKETS}",
+        ],
+    )
+
+    benchmark.extra_info["stateful_expectations_per_s"] = round(
+        stateful_rate
+    )
+    benchmark.extra_info["stateless_expectations_per_s"] = round(
+        stateless_rate
+    )
+    benchmark.extra_info["stateful_over_stateless"] = round(ratio, 3)
+    benchmark.extra_info["return_path_flips"] = opened_returns
+    benchmark.extra_info["sweep_packets"] = SWEEP_PACKETS

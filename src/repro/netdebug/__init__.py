@@ -38,6 +38,7 @@ from .report import (
     SessionReport,
     StreamStats,
 )
+from .oracle import ORACLES, ReferenceOracle, StatelessOracle
 from .regression import RegressionSuite, record_suite, replay_suite
 from .session import ValidationSession, reference_expectation, run_session
 from .testpacket import PROBE_MAGIC, ProbeInfo, decode_probe, is_probe, make_probe
@@ -58,6 +59,9 @@ __all__ = [
     "ValidationSession",
     "run_session",
     "reference_expectation",
+    "ReferenceOracle",
+    "StatelessOracle",
+    "ORACLES",
     "RegressionSuite",
     "record_suite",
     "replay_suite",

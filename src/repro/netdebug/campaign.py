@@ -67,7 +67,8 @@ from .report import (
     LatencyStats,
     SessionReport,
 )
-from .session import ValidationSession, reference_expectation, run_session
+from .oracle import ORACLES, OracleFactory, require_known_oracle
+from .session import ValidationSession, run_session
 
 __all__ = [
     "TARGETS",
@@ -222,6 +223,14 @@ class Scenario:
     #: the p99 of its per-packet pipeline latency exceeds this many
     #: device-clock cycles.
     sla_p99_cycles: float | None = None
+    #: Which named oracle predicts this cell's expectations
+    #: (:data:`repro.netdebug.oracle.ORACLES`): ``"stateless"`` is the
+    #: historical fresh-state-per-packet prediction; ``"stateful"``
+    #: threads register state across the cell's packet sequence in
+    #: arrival order. Not part of :attr:`key` (and therefore not of the
+    #: seed derivation): the oracle changes what is *predicted*, never
+    #: what traffic is generated.
+    oracle: str = "stateless"
 
     @property
     def key(self) -> str:
@@ -259,6 +268,8 @@ class ScenarioMatrix:
     #: latency bound in device-clock cycles); ``None`` keeps campaign
     #: verdicts purely functional.
     sla_p99_cycles: float | None = None
+    #: Named oracle applied to every cell (see :attr:`Scenario.oracle`).
+    oracle: str = "stateless"
 
     def validate(self) -> None:
         if not self.programs or not self.targets or not self.workloads \
@@ -297,6 +308,7 @@ class ScenarioMatrix:
             raise NetDebugError(
                 f"unknown setup provisioner {self.setup!r}"
             )
+        require_known_oracle(self.oracle, "scenario matrix")
         if self.sla_p99_cycles is not None and (
             not math.isfinite(self.sla_p99_cycles)
             or self.sla_p99_cycles <= 0
@@ -337,6 +349,7 @@ class ScenarioMatrix:
                                 ) % (1 << 53),
                                 setup=self.setup,
                                 sla_p99_cycles=self.sla_p99_cycles,
+                                oracle=self.oracle,
                             )
                         )
                         index += 1
@@ -390,6 +403,21 @@ def _scenario_times_ns(scenario: "Scenario") -> tuple[float, ...] | None:
     return build_workload(
         scenario.workload, flow, scenario.count, seed=scenario.seed
     ).times_ns
+
+
+def _scenario_ingress_ports(
+    scenario: "Scenario",
+) -> tuple[int, ...] | None:
+    """The scenario's per-packet ingress ports; ``None`` when the
+    workload is directionless (everything on port 0). Same zero-count
+    probe trick as :func:`_scenario_times_ns`."""
+    flow = default_flow(stable_hash64(scenario.key) % 8)
+    probe = build_workload(scenario.workload, flow, 0, seed=scenario.seed)
+    if probe.ingress_ports is None:
+        return None
+    return build_workload(
+        scenario.workload, flow, scenario.count, seed=scenario.seed
+    ).ingress_ports
 
 
 def _shard_device(
@@ -519,10 +547,13 @@ def _grade_sla(scenario: "Scenario", report: SessionReport,
 
 
 def _run_shard(job: tuple) -> "ScenarioResult":
-    # Tolerant unpack: jobs grew an engine element; older 4-tuples (e.g.
-    # from a coordinator one minor version behind) default to closures.
+    # Tolerant unpack: jobs grew an engine element, then an
+    # oracle-factory element; older tuples (e.g. from a coordinator one
+    # minor version behind) default to closures / the scenario's named
+    # oracle.
     epoch, scenario, faults, keep_suite, *rest = job
     engine = rest[0] if rest else "closure"
+    oracle_factory = rest[1] if len(rest) > 1 else None
     cache_before = artifact_cache.stats_snapshot()
     device = _shard_device(
         epoch, scenario.program, scenario.target, scenario.setup, engine
@@ -548,16 +579,30 @@ def _run_shard(job: tuple) -> "ScenarioResult":
     # oracle so programs that stamp time into packets (int_telemetry)
     # validate byte-exactly; untimed workloads inject at the device
     # clock, which the oracle cannot see, so they keep predicting at 0.
+    # Likewise the workload's per-packet ingress ports feed both sides.
     cycle_times = _cycle_times(bundle, device)
-    expectations = [
-        reference_expectation(
-            device.program, wire,
-            label=f"{scenario.key}#{i}",
-            num_ports=len(device.ports),
-            timestamp=cycle_times[i] if cycle_times is not None else 0,
-        )
-        for i, wire in enumerate(frames)
-    ]
+    ports = (
+        list(bundle.ingress_ports)
+        if bundle.ingress_ports is not None
+        else None
+    )
+    # One oracle per shard, fed the whole cell in arrival order — the
+    # sharding unit IS the session, so stateful oracles never need
+    # state to thread across shard boundaries. An explicit
+    # oracle_factory (threaded through the job frame) overrides the
+    # scenario's named oracle.
+    factory = (
+        oracle_factory
+        if oracle_factory is not None
+        else ORACLES[getattr(scenario, "oracle", "stateless")]
+    )
+    oracle = factory(device.program, num_ports=len(device.ports))
+    expectations = oracle.expect_all(
+        frames,
+        ingress_ports=ports,
+        timestamps=cycle_times,
+        label=scenario.key,
+    )
     sampler = (
         _LatencySampler() if scenario.sla_p99_cycles is not None else None
     )
@@ -569,6 +614,7 @@ def _run_shard(job: tuple) -> "ScenarioResult":
                 packets=list(bundle.packets),
                 fix_checksums=False,
                 timestamps=cycle_times,
+                ingress_ports=ports,
             )
         ],
         checks=[sampler] if sampler is not None else [],
@@ -603,6 +649,7 @@ def _suite_name(scenario: Scenario) -> str:
 def _replay_shard(job: tuple) -> "ScenarioResult":
     epoch, scenario, faults, directory, times_ns, *rest = job
     engine = rest[0] if rest else "closure"
+    ports = rest[1] if len(rest) > 1 else None
     suite = RegressionSuite.load(directory, _suite_name(scenario))
     cache_before = artifact_cache.stats_snapshot()
     device = _shard_device(
@@ -625,7 +672,10 @@ def _replay_shard(job: tuple) -> "ScenarioResult":
         if times_ns is not None
         else None
     )
-    report = replay_suite(device, suite, timestamps=timestamps)
+    report = replay_suite(
+        device, suite, timestamps=timestamps,
+        ports=list(ports) if ports is not None else None,
+    )
     report.measurements["clock_cycles"] = float(device.clock_cycles)
     report.measurements["cycles_per_packet"] = (
         device.clock_cycles / report.injected if report.injected else 0.0
@@ -691,6 +741,11 @@ class ScenarioResult:
         # round-tripping byte-identically.
         if self.scenario.sla_p99_cycles is not None:
             scenario["sla_p99_cycles"] = self.scenario.sla_p99_cycles
+        # Same conditional-emission contract for the oracle axis:
+        # stateless cells serialize exactly as they did before the
+        # oracle existed.
+        if self.scenario.oracle != "stateless":
+            scenario["oracle"] = self.scenario.oracle
         return {
             "scenario": scenario,
             "verdict": self.verdict,
@@ -713,6 +768,7 @@ class ScenarioResult:
                 seed=s["seed"],
                 setup=s.get("setup", ""),
                 sla_p99_cycles=s.get("sla_p99_cycles"),
+                oracle=s.get("oracle", "stateless"),
             ),
             report=SessionReport.from_dict(data["report"]),
         )
@@ -1025,6 +1081,7 @@ def run_campaign(
     on_result: Callable[[str, SessionReport, CampaignProgress], None]
     | None = None,
     engine: str = "closure",
+    oracle_factory: OracleFactory | None = None,
 ) -> CampaignReport:
     """Expand ``matrix`` and execute every scenario shard.
 
@@ -1047,6 +1104,14 @@ def run_campaign(
     ``engine`` selects the shard execution engine (``"closure"``
     default, ``"batch"`` for the block kernel, ``"tree"`` for the
     spec-faithful baseline); all three produce byte-identical reports.
+
+    ``oracle_factory`` overrides the matrix's named ``oracle`` with an
+    arbitrary factory (called per shard as ``factory(program,
+    num_ports=...)``). It rides the job frame to every worker, so it
+    must be picklable — a module-level class or function. Sharding is
+    per *scenario cell*, each cell's packets staying on one shard in
+    arrival order, which is exactly the state boundary stateful oracles
+    need.
     """
     _require_known_engine(engine)
     scenarios = matrix.expand()
@@ -1062,7 +1127,10 @@ def run_campaign(
                     )
     epoch = next(_EPOCH_COUNTER)
     jobs = [
-        (epoch, scenario, matrix.faults[scenario.fault], record, engine)
+        (
+            epoch, scenario, matrix.faults[scenario.fault], record,
+            engine, oracle_factory,
+        )
         for scenario in scenarios
     ]
     results = _execute(
@@ -1156,6 +1224,20 @@ def _write_manifest(
                     if (times_ns := _scenario_times_ns(s)) is not None
                     else {}
                 ),
+                # Directional workloads persist their per-packet
+                # ingress ports for the same reason: recorded
+                # expectations are only reproducible when replay
+                # injects each packet on the port it was recorded on.
+                **(
+                    {"ingress_ports": list(ports)}
+                    if (ports := _scenario_ingress_ports(s)) is not None
+                    else {}
+                ),
+                **(
+                    {"oracle": s.oracle}
+                    if s.oracle != "stateless"
+                    else {}
+                ),
             }
             for s in scenarios
         ],
@@ -1222,6 +1304,7 @@ def replay_campaign(
             seed=s["seed"],
             setup=s.get("setup", ""),
             sla_p99_cycles=s.get("sla_p99_cycles"),
+            oracle=s.get("oracle", "stateless"),
         )
         # A hand-edited or version-skewed manifest must fail here with a
         # clear error, not as a KeyError inside the worker pool.
@@ -1244,10 +1327,18 @@ def replay_campaign(
                 # Pre-PR-5 manifests carry no times: replay them at
                 # the device clock, exactly as they were recorded.
                 tuple(s["times_ns"]) if "times_ns" in s else None,
+                engine,
+                # Pre-directional manifests carry no ports: replay on
+                # port 0, exactly as they were recorded.
+                (
+                    tuple(s["ingress_ports"])
+                    if "ingress_ports" in s
+                    else None
+                ),
             )
         )
     epoch = next(_EPOCH_COUNTER)
-    jobs = [(epoch, *job, engine) for job in jobs]
+    jobs = [(epoch, *job) for job in jobs]
     results = _execute(
         jobs, _replay_shard, workers, executor,
         _streaming_ingest(on_result, len(jobs)),

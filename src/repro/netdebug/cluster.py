@@ -718,11 +718,15 @@ def run_cluster_campaign(
     retry_budget: int = DEFAULT_RETRY_BUDGET,
     timeout: float | None = None,
     engine: str = "closure",
+    oracle_factory=None,
 ) -> CampaignReport:
     """Run ``matrix`` on a localhost coordinator + ``workers`` worker
     processes over the real socket transport — the one-call launcher
     tests, CI and benchmarks use. Byte-identical to ``run_campaign``
-    on the same matrix (and across engines)."""
+    on the same matrix (and across engines). ``oracle_factory`` rides
+    the pickled job frames to remote workers, so it must resolve by
+    reference there — a module-level class or function (the named
+    ``ORACLES`` entries qualify)."""
     executor = ClusterExecutor(
         local_workers=workers,
         slots=slots,
@@ -736,6 +740,7 @@ def run_cluster_campaign(
         executor=executor,
         on_result=on_result,
         engine=engine,
+        oracle_factory=oracle_factory,
     )
 
 
@@ -804,6 +809,7 @@ def _matrix_from_args(args) -> tuple[ScenarioMatrix, str]:
         seed=args.seed,
         setup=args.setup,
         sla_p99_cycles=args.sla_p99,
+        oracle=args.oracle,
     )
     return matrix, args.name
 
@@ -828,6 +834,11 @@ def _add_matrix_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", default="closure",
                         choices=("tree", "closure", "batch"),
                         help="execution engine for shard devices")
+    parser.add_argument("--oracle", default="stateless",
+                        choices=("stateless", "stateful"),
+                        help="named expectation oracle: 'stateful' "
+                             "threads register state across each "
+                             "cell's packet sequence")
     parser.add_argument("--name", default="campaign")
     parser.add_argument("--out", default="",
                         help="write the campaign report JSON here")

@@ -47,7 +47,12 @@ from ..p4.interpreter import Interpreter, Verdict
 from ..p4.program import P4Program
 from ..p4.stdlib import PROGRAMS
 from ..packet.builder import ethernet_frame, udp_packet
-from ..sim.traffic import FlowSpec, default_flow, pad_to_size
+from ..sim.traffic import (
+    FlowSpec,
+    bidirectional_flows,
+    default_flow,
+    pad_to_size,
+)
 from ..target.compiler import CompiledProgram
 from ..target.device import NetworkDevice
 from ..target.sdnet import REJECT_NOT_IMPLEMENTED
@@ -56,6 +61,7 @@ from ..target.tofino import DEPARSE_FIELD_BUDGET_EXCEEDED, TCAM_QUANTIZED
 __all__ = [
     "DeviantOracle",
     "seeded_batch",
+    "seeded_bidir_batch",
     "Observation",
     "PacketDiff",
     "DifferentialCase",
@@ -77,10 +83,26 @@ class DeviantOracle(Interpreter):
     a genuine differential.
     """
 
-    def observe(self, wire: bytes, ingress_port: int = 0) -> "Observation":
-        """Run one frame and project the result onto an observation."""
+    def observe(
+        self,
+        wire: bytes,
+        ingress_port: int = 0,
+        timestamp: int = 0,
+    ) -> "Observation":
+        """Run one frame and project the result onto an observation.
+
+        The oracle object is session-scoped: its registers and counters
+        persist across ``observe`` calls, so feeding it a cell's frames
+        in device arrival order (with each frame's ``ingress_port`` and
+        ``timestamp``) keeps its state in lockstep with the device —
+        which is what lets cross-backend diffs of ``stateful_firewall``
+        attribute register-dependent divergences to deviation tags
+        instead of mispredicting the spec.
+        """
         return Observation.from_result(
-            self.process(wire, ingress_port=ingress_port)
+            self.process(
+                wire, ingress_port=ingress_port, timestamp=timestamp
+            )
         )
 
 
@@ -201,6 +223,20 @@ def seeded_batch(
     return frames
 
 
+def seeded_bidir_batch(
+    flow: FlowSpec, count: int, seed: int
+) -> list[tuple[bytes, int]]:
+    """A deterministic bidirectional batch: ``(wire, ingress_port)``
+    pairs from :func:`repro.sim.traffic.bidirectional_flows` — TCP-like
+    exchanges with seeded loss and reordering, outbound on the inside
+    port, inbound on the outside port. The directional counterpart of
+    :func:`seeded_batch` for register-stateful cases."""
+    return [
+        (packet.pack(), port)
+        for packet, port in bidirectional_flows(flow, count, seed=seed)
+    ]
+
+
 @dataclass(frozen=True)
 class PacketDiff:
     """One frame on which a target's datapath diverged from the spec."""
@@ -248,6 +284,11 @@ class DifferentialCase:
     program: str | Callable[[], P4Program]
     provision: Callable[[NetworkDevice], None] | None = None
     label: str = ""
+    #: Drive the cell with :func:`seeded_bidir_batch` (directional
+    #: TCP-like exchanges) instead of :func:`seeded_batch` — the
+    #: workload register-stateful programs need for their return path
+    #: to be exercised at all.
+    bidirectional: bool = False
 
     @property
     def name(self) -> str:
@@ -476,13 +517,22 @@ class DifferentialRunner:
             # quantization witnesses). The base seed is mixed INTO the
             # hash (not shifted above it) so seeds stay within JSON's
             # interoperable 2^53 range.
-            frames = seeded_batch(
+            batch = (
+                seeded_bidir_batch if case.bidirectional else seeded_batch
+            )
+            frames = batch(
                 default_flow(stable_hash64(case.name) % 8),
                 self.count,
                 seed=stable_hash64(
                     f"{self.seed}:{case.name}"
                 ) % (1 << 53),
             )
+            # Normalize to (wire, ingress_port) pairs; directionless
+            # batches keep the historical fixed ingress, port 0.
+            pairs = [
+                frame if isinstance(frame, tuple) else (frame, 0)
+                for frame in frames
+            ]
             for target in self.targets:
                 device = TARGETS[target](f"diff-{target}-{case.name}")
                 cell = DifferentialCell(
@@ -505,7 +555,7 @@ class DifferentialRunner:
                 if case.provision is not None:
                     case.provision(device)
                 cell.deviation_tags = tuple(compiled.silent_deviations)
-                self._run_cell(cell, device, compiled, frames)
+                self._run_cell(cell, device, compiled, pairs)
         return report
 
     def _run_cell(
@@ -513,7 +563,7 @@ class DifferentialRunner:
         cell: DifferentialCell,
         device: NetworkDevice,
         compiled: CompiledProgram,
-        frames: list[bytes],
+        pairs: list[tuple[bytes, int]],
     ) -> None:
         # One oracle per DISTINCT behavioural model per cell — the spec,
         # the artifact's full model, and each single-tag model are often
@@ -545,10 +595,15 @@ class DifferentialRunner:
             tag: oracle_for(*tag_model(compiled, tag))
             for tag in compiled.silent_deviations
         }
-        for index, wire in enumerate(frames):
+        for index, (wire, port) in enumerate(pairs):
             cell.packets += 1
+            # Every oracle sees the same ingress port and injection
+            # timestamp the device will: state threads identically.
+            timestamp = device.clock_cycles
             predictions = {
-                key: oracle.observe(wire)
+                key: oracle.observe(
+                    wire, ingress_port=port, timestamp=timestamp
+                )
                 for key, oracle in oracles.items()
             }
             spec = predictions[(True, False, None)]
@@ -563,7 +618,7 @@ class DifferentialRunner:
                 tag: predictions[tag_model(compiled, tag)].diff_kinds(spec)
                 for tag in tag_oracles
             }
-            run = device.inject(wire)
+            run = device.inject(wire, port=port, timestamp=timestamp)
             observed = Observation.from_result(run.result)
 
             kinds = spec.diff_kinds(observed)

@@ -70,8 +70,10 @@ __all__ = [
     "BASELINE_CAMPAIGN_COUNT",
     "BASELINE_DIFFERENTIAL_COUNT",
     "baseline_matrix",
+    "baseline_stateful_matrix",
     "baseline_cases",
     "run_baseline_campaign",
+    "run_baseline_stateful",
     "run_baseline_differential",
     "write_baselines",
     "ScenarioDelta",
@@ -118,13 +120,42 @@ def baseline_matrix(
     )
 
 
+def baseline_stateful_matrix(
+    count: int = BASELINE_CAMPAIGN_COUNT, seed: int = BASELINE_SEED
+) -> ScenarioMatrix:
+    """The committed *stateful* campaign baseline.
+
+    A separate matrix (and a separate golden file,
+    ``baselines/stateful.json``) rather than extra axes on
+    :func:`baseline_matrix`: the oracle is a matrix-wide knob, and the
+    stateless sweep must keep predicting with fresh per-packet state.
+    ``stateful_firewall`` under the ``tcp_bidir`` workload is the cell
+    where the oracles *disagree* — return-path packets of opened flows
+    are forwarded only when register state threads across the sequence
+    — so its golden entries pin the session-scoped prediction on every
+    target.
+    """
+    return ScenarioMatrix(
+        programs=["stateful_firewall"],
+        targets=["reference", "sdnet", "tofino"],
+        faults={"baseline": ()},
+        workloads=["tcp_bidir"],
+        count=count,
+        seed=seed,
+        oracle="stateful",
+    )
+
+
 def baseline_cases() -> list[DifferentialCase]:
     """The committed differential baseline: one witness per deviation
-    mechanism plus the all-targets-agree control."""
+    mechanism, the all-targets-agree control, and the register-stateful
+    control (``stateful_firewall`` driven by bidirectional flow traffic
+    through session-scoped deviant oracles)."""
     return [
         DifferentialCase("strict_parser"),
         DifferentialCase("l2_switch"),
         DifferentialCase("acl_firewall", provision=provision_acl_gate),
+        DifferentialCase("stateful_firewall", bidirectional=True),
     ]
 
 
@@ -138,6 +169,19 @@ def run_baseline_campaign(
         baseline_matrix(count=count, seed=seed),
         workers=workers,
         name="baseline",
+    )
+
+
+def run_baseline_stateful(
+    workers: int = 1,
+    count: int = BASELINE_CAMPAIGN_COUNT,
+    seed: int = BASELINE_SEED,
+) -> CampaignReport:
+    """Execute the stateful baseline matrix (deterministic per seed)."""
+    return run_campaign(
+        baseline_stateful_matrix(count=count, seed=seed),
+        workers=workers,
+        name="baseline-stateful",
     )
 
 
@@ -168,11 +212,15 @@ def write_baselines(
     campaign = run_baseline_campaign(
         workers=workers, count=campaign_count, seed=seed
     )
+    stateful = run_baseline_stateful(
+        workers=workers, count=campaign_count, seed=seed
+    )
     differential = run_baseline_differential(
         count=differential_count, seed=seed
     )
     return {
         "campaign": campaign.save(directory / "campaign.json"),
+        "stateful": stateful.save(directory / "stateful.json"),
         "differential": differential.save(directory / "differential.json"),
     }
 

@@ -82,6 +82,10 @@ class StreamSpec:
             packet, device-clock units). Workloads with their own
             arrival process (e.g. poisson) carry it here; packets
             beyond the list fall back to the device clock.
+        ingress_ports: Optional per-packet ingress ports. Bidirectional
+            workloads (e.g. ``tcp_bidir``) carry the direction of each
+            packet here; packets beyond the list fall back to port 0,
+            the historical fixed ingress.
     """
 
     stream_id: int
@@ -95,6 +99,7 @@ class StreamSpec:
     fix_checksums: bool = True
     packets: list[Packet] | None = None
     timestamps: list[int] | None = None
+    ingress_ports: list[int] | None = None
 
     def timestamp_at(self, seq_no: int, default: int) -> int:
         """The injection timestamp for packet ``seq_no``: the stream's
@@ -105,6 +110,18 @@ class StreamSpec:
         if self.timestamps is not None and seq_no < len(self.timestamps):
             return self.timestamps[seq_no]
         return default
+
+    def port_at(self, seq_no: int) -> int:
+        """The ingress port for packet ``seq_no``: the stream's own
+        per-packet ports when it defines them, else port 0 — the same
+        fallback every injection path uses, so the oracle and the
+        device always agree on where a packet entered."""
+        if (
+            self.ingress_ports is not None
+            and seq_no < len(self.ingress_ports)
+        ):
+            return self.ingress_ports[seq_no]
+        return 0
 
     def materialize(self) -> Iterator[Packet]:
         """Produce the stream's packets, applying sweeps and fuzzing."""
@@ -189,15 +206,16 @@ class PacketGenerator:
             raise NetDebugError(f"no stream {stream_id}") from None
 
         # Bare streams with no per-packet callback (and no explicit
-        # arrival process) take the batched path: all wires are
-        # materialized up front and handed to the device in one call,
-        # amortizing per-packet setup — the shape a hardware generator
-        # has, where the stream program is compiled once and packets
-        # are emitted back to back.
+        # arrival process or per-packet ports) take the batched path:
+        # all wires are materialized up front and handed to the device
+        # in one call, amortizing per-packet setup — the shape a
+        # hardware generator has, where the stream program is compiled
+        # once and packets are emitted back to back.
         if (
             not stream.wrap
             and on_injected is None
             and stream.timestamps is None
+            and stream.ingress_ports is None
         ):
             wires = [packet.pack() for packet in stream.materialize()]
             records = [
@@ -228,7 +246,8 @@ class PacketGenerator:
                 stream.stream_id, seq_no, wire, timestamp
             )
             record.run = self._device.inject(
-                wire, at=stream.inject_at, timestamp=timestamp
+                wire, at=stream.inject_at, port=stream.port_at(seq_no),
+                timestamp=timestamp,
             )
             records.append(record)
             self.injected.append(record)

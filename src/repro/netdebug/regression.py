@@ -20,8 +20,8 @@ from ..exceptions import NetDebugError
 from ..packet.pcap import PcapRecord, read_pcap, write_pcap
 from ..target.device import NetworkDevice
 from .checker import ExpectedOutput, OutputChecker
+from .oracle import OracleFactory, StatelessOracle
 from .report import SessionReport
-from .session import reference_expectation
 
 __all__ = ["RegressionSuite", "record_suite", "replay_suite"]
 
@@ -163,21 +163,26 @@ def record_suite(
     device: NetworkDevice,
     frames: list[bytes],
     name: str = "regression",
+    oracle_factory: OracleFactory | None = None,
+    ports: list[int] | None = None,
 ) -> RegressionSuite:
     """Freeze a workload against the device's *current* program spec.
 
-    Expectations come from the reference oracle on the loaded program
+    Expectations come from a reference oracle on the loaded program
     (including its installed table entries), so the suite captures
     intended behaviour — replaying it on a target whose implementation
     diverges from that spec fails, which is the point.
+    ``oracle_factory`` overrides the default
+    :class:`~repro.netdebug.oracle.StatelessOracle` (frames are fed in
+    list order, so a stateful factory records connection-dependent
+    expectations); ``ports`` pins per-frame ingress ports, which a
+    replay must then repeat via :func:`replay_suite`.
     """
-    expectations = [
-        reference_expectation(
-            device.program, frame, label=f"{name}#{i}",
-            num_ports=len(device.ports),
-        )
-        for i, frame in enumerate(frames)
-    ]
+    factory = oracle_factory or StatelessOracle
+    oracle = factory(device.program, num_ports=len(device.ports))
+    expectations = oracle.expect_all(
+        frames, ingress_ports=ports, label=name
+    )
     return RegressionSuite(name, list(frames), expectations)
 
 
@@ -185,6 +190,7 @@ def replay_suite(
     device: NetworkDevice,
     suite: RegressionSuite,
     timestamps: list[int] | None = None,
+    ports: list[int] | None = None,
 ) -> SessionReport:
     """Replay a frozen suite on ``device`` and report divergences.
 
@@ -193,8 +199,12 @@ def replay_suite(
     bytes, so suites captured under a workload-defined arrival process
     only replay faithfully for time-stamping programs (e.g.
     ``int_telemetry``) when injection happens at the same timestamps.
+    ``ports`` likewise re-applies the original per-frame ingress ports
+    (frames beyond the list fall back to port 0) — directional suites
+    replay on the ports they were recorded on or not at all.
     """
     checker = OutputChecker(device)
+    ports_covered = len(ports) if ports is not None else 0
     with checker:
         for index, (frame, expectation) in enumerate(
             zip(suite.frames, suite.expectations)
@@ -202,6 +212,7 @@ def replay_suite(
             checker.arm(expectation)
             device.inject(
                 frame,
+                port=ports[index] if index < ports_covered else 0,
                 timestamp=(
                     timestamps[index]
                     if timestamps is not None and index < len(timestamps)

@@ -21,10 +21,30 @@ from ..target.device import FLOOD_PORT, NetworkDevice
 from ..target.pipeline import PacketSnapshot, TAP_INPUT, TAP_OUTPUT
 from .checker import CheckRule, ExpectedOutput, OutputChecker
 from .generator import PacketGenerator, StreamSpec
+from .oracle import (
+    ORACLES,
+    OracleFactory,
+    ReferenceOracle,
+    StatelessOracle,
+    require_known_oracle,
+)
 from .report import SessionReport
 from .testpacket import make_probe
 
-__all__ = ["reference_expectation", "ValidationSession", "run_session"]
+__all__ = [
+    "reference_expectation",
+    "ReferenceOracle",
+    "StatelessOracle",
+    "ORACLES",
+    "require_known_oracle",
+    "ValidationSession",
+    "run_session",
+]
+
+# Interpreter and FLOOD_PORT are re-exported for historical importers
+# (and the test seam that monkeypatches Interpreter.process); the oracle
+# implementation itself lives in repro.netdebug.oracle.
+_HISTORICAL_EXPORTS = (Interpreter, FLOOD_PORT)
 
 
 def reference_expectation(
@@ -35,56 +55,16 @@ def reference_expectation(
     num_ports: int | None = None,
     timestamp: int = 0,
 ) -> ExpectedOutput:
-    """Predict the spec-correct output for ``wire`` on ``program``.
+    """Predict the spec-correct output for one packet, statelessly.
 
-    Runs the packet through a spec-faithful interpreter sharing the
-    program's installed table entries. A drop/reject prediction becomes a
-    ``forbid`` expectation; a unicast forward prediction pins the exact
-    output bytes and egress port.
-
-    ``timestamp`` is the planned injection time in device-clock cycles;
-    programs whose output bytes depend on it (e.g. ``int_telemetry``
-    stamping ``ingress_ts``) validate byte-exactly only when the oracle
-    sees the same timestamp the device will.
-
-    A *flood* prediction (``egress_spec`` equal to :data:`FLOOD_PORT`)
-    is expanded to the per-port expected outputs — every port except the
-    ingress when ``num_ports`` is given — rather than pinned to the
-    flood sentinel, so port-level captures validate each emitted copy.
-    Raises :class:`NetDebugError` when the oracle run produced no
-    ``egress_spec`` metadata at all (a broken custom interpreter or
-    metadata layout), instead of surfacing a bare ``KeyError``.
+    A thin shim over :class:`~repro.netdebug.oracle.StatelessOracle` —
+    one fresh-state prediction per call, byte-identical to the
+    historical function. Anything predicting a packet *sequence* should
+    hold an oracle object instead (see :mod:`repro.netdebug.oracle`);
+    sequence consumers in this package all do.
     """
-    interp = Interpreter(program, honor_reject=True)
-    result = interp.process(
-        wire, ingress_port=ingress_port, timestamp=timestamp
-    )
-    if result.verdict is not Verdict.FORWARDED:
-        return ExpectedOutput(
-            forbid=True, label=label or f"must-drop ({result.verdict.value})"
-        )
-    egress = result.metadata.get("egress_spec")
-    if egress is None:
-        raise NetDebugError(
-            f"reference oracle forwarded a packet on {program.name!r} "
-            "without an egress_spec in its metadata; the oracle cannot "
-            "predict an output port"
-        )
-    if egress == FLOOD_PORT:
-        ports = (
-            tuple(p for p in range(num_ports) if p != ingress_port)
-            if num_ports is not None
-            else ()
-        )
-        return ExpectedOutput(
-            wire=result.packet.pack(),
-            egress_ports=ports,
-            label=label or "reference-flood",
-        )
-    return ExpectedOutput(
-        wire=result.packet.pack(),
-        egress_port=egress,
-        label=label or "reference-output",
+    return StatelessOracle(program, num_ports=num_ports).expect(
+        wire, ingress_port=ingress_port, timestamp=timestamp, label=label
     )
 
 
@@ -98,9 +78,21 @@ class ValidationSession:
         checks: Programmable rules evaluated on every observed packet.
         tap: Where the checker observes (default: the output tap).
         use_reference_oracle: Derive an expectation per injected packet
-            from the spec-faithful interpreter.
+            from the spec-faithful interpreter (fresh state per packet
+            unless ``oracle_factory`` overrides the construction).
         expectations: Explicit per-packet expectations (overrides the
             oracle when non-empty; must match the injection count).
+        oracle_factory: How to build this session's oracle — called
+            once per :func:`run_session` as ``factory(program,
+            num_ports=...)`` and fed every packet in injection order.
+            Pass :class:`~repro.netdebug.oracle.ReferenceOracle` for
+            session-scoped stateful predictions; the default (``None``
+            with ``use_reference_oracle``) is
+            :class:`~repro.netdebug.oracle.StatelessOracle`, preserving
+            the historical per-packet fresh-state semantics.
+        oracle: Legacy per-packet callable ``(wire, ingress_port) ->
+            ExpectedOutput``; opaque to the engine, so it forces the
+            per-packet path (prefer ``oracle_factory``).
     """
 
     name: str
@@ -110,6 +102,7 @@ class ValidationSession:
     use_reference_oracle: bool = False
     expectations: list[ExpectedOutput] = dc_field(default_factory=list)
     oracle: Callable[[bytes, int], ExpectedOutput] | None = None
+    oracle_factory: OracleFactory | None = None
 
 
 def _block_eligible(
@@ -124,6 +117,13 @@ def _block_eligible(
     callable may read device state between injections). Wrapped streams
     must be fully timed — an untimed probe's wire bytes embed the
     running clock, which the kernel only knows afterwards.
+
+    A *stateful* ``oracle_factory`` oracle stays block-compatible: its
+    arrival-order contract holds because the kernel preserves arrival
+    order for exactly the programs whose predictions depend on it —
+    register-bearing programs take the packet-major schedule
+    (:attr:`repro.target.batch.BatchProgram.columnar` is False), and
+    the post-block replay feeds the oracle in sequence order.
     """
     if getattr(device, "engine", None) != "batch":
         return False
@@ -153,6 +153,29 @@ def _block_eligible(
     return True
 
 
+def _session_oracle(
+    device: NetworkDevice, session: ValidationSession
+) -> ReferenceOracle | None:
+    """Build the one oracle that serves this session, or ``None``.
+
+    ``oracle_factory`` wins when set (with or without
+    ``use_reference_oracle``); ``use_reference_oracle`` alone keeps the
+    historical default, a :class:`StatelessOracle`. Both execution
+    paths construct the oracle exactly once per run and feed it every
+    packet in injection order — the arrival-order contract stateful
+    oracles require.
+    """
+    if session.oracle_factory is not None:
+        return session.oracle_factory(
+            device.program, num_ports=len(device.ports)
+        )
+    if session.use_reference_oracle:
+        return StatelessOracle(
+            device.program, num_ports=len(device.ports)
+        )
+    return None
+
+
 def _run_session_block(
     device: NetworkDevice, session: ValidationSession
 ) -> SessionReport:
@@ -172,6 +195,7 @@ def _run_session_block(
     for rule in session.checks:
         checker.add_check(rule)
 
+    oracle = _session_oracle(device, session)
     explicit = list(session.expectations)
     explicit_index = 0
     sent_per_stream: dict[int, int] = {}
@@ -195,7 +219,14 @@ def _run_session_block(
             if stream.timestamps is not None
             else None
         )
-        outcomes = device.inject_block(wires, timestamps=timestamps)
+        ports = (
+            [stream.port_at(i) for i in range(len(wires))]
+            if stream.ingress_ports is not None
+            else None
+        )
+        outcomes = device.inject_block(
+            wires, timestamps=timestamps, ports=ports
+        )
 
         for seq_no, (timestamp, run) in enumerate(outcomes):
             expectation: ExpectedOutput | None = None
@@ -207,12 +238,12 @@ def _run_session_block(
                     )
                 expectation = explicit[explicit_index]
                 explicit_index += 1
-            elif session.use_reference_oracle:
-                expectation = reference_expectation(
-                    device.program, wires[seq_no],
-                    label=f"s{stream.stream_id}#{seq_no}",
-                    num_ports=len(device.ports),
+            elif oracle is not None:
+                expectation = oracle.expect(
+                    wires[seq_no],
+                    ingress_port=stream.port_at(seq_no),
                     timestamp=timestamp,
+                    label=f"s{stream.stream_id}#{seq_no}",
                 )
 
             if expectation is not None:
@@ -279,6 +310,7 @@ def run_session(
     for rule in session.checks:
         checker.add_check(rule)
 
+    oracle = _session_oracle(device, session)
     explicit = list(session.expectations)
     explicit_index = 0
     sent_per_stream: dict[int, int] = {}
@@ -290,6 +322,7 @@ def run_session(
                 timestamp = stream.timestamp_at(
                     seq_no, device.clock_cycles
                 )
+                port = stream.port_at(seq_no)
                 if stream.wrap:
                     wire = make_probe(
                         stream.stream_id,
@@ -310,19 +343,19 @@ def run_session(
                     expectation = explicit[explicit_index]
                     explicit_index += 1
                 elif session.oracle is not None:
-                    expectation = session.oracle(wire, 0)
-                elif session.use_reference_oracle:
-                    expectation = reference_expectation(
-                        device.program, wire,
-                        label=f"s{stream.stream_id}#{seq_no}",
-                        num_ports=len(device.ports),
+                    expectation = session.oracle(wire, port)
+                elif oracle is not None:
+                    expectation = oracle.expect(
+                        wire,
+                        ingress_port=port,
                         timestamp=timestamp,
+                        label=f"s{stream.stream_id}#{seq_no}",
                     )
 
                 if expectation is not None:
                     checker.arm(expectation)
                 device.inject(
-                    wire, at=stream.inject_at,
+                    wire, at=stream.inject_at, port=port,
                     timestamp=timestamp,
                 )
                 if expectation is not None:

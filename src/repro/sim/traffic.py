@@ -19,6 +19,8 @@ from ..packet.packet import Packet
 
 __all__ = [
     "FlowSpec",
+    "INSIDE_PORT",
+    "OUTSIDE_PORT",
     "constant_rate_times",
     "poisson_times",
     "burst_times",
@@ -26,11 +28,20 @@ __all__ = [
     "udp_stream",
     "imix_stream",
     "malformed_mix",
+    "heavy_tailed_flow_sizes",
+    "tcp_flow_stream",
+    "bidirectional_flows",
     "pad_to_size",
     "WorkloadBundle",
     "WORKLOADS",
     "build_workload",
 ]
+
+#: Ingress-port convention for bidirectional traffic, matching
+#: ``repro.p4.stdlib_ext.stateful_firewall``: the protected side
+#: ingresses on port 0, the outside world on port 1.
+INSIDE_PORT = 0
+OUTSIDE_PORT = 1
 
 
 def _check_rate(rate_pps: float, who: str) -> None:
@@ -292,6 +303,184 @@ def malformed_mix(
             yield packet, False
 
 
+def heavy_tailed_flow_sizes(
+    count: int,
+    seed: int = 0,
+    alpha: float = 1.3,
+    lo: int = 2,
+    hi: int = 64,
+) -> list[int]:
+    """Sample ``count`` flow sizes (data packets per flow) from a
+    bounded Pareto distribution.
+
+    Internet flow sizes are famously heavy-tailed — most flows are
+    mice, a few elephants carry most bytes — so a campaign-sized
+    population sampler draws from a Pareto(``alpha``) truncated to
+    ``[lo, hi]`` via the inverse CDF. Seed-deterministic. Raises
+    :class:`SimulationError` for a non-positive ``alpha`` or an empty
+    or inverted ``[lo, hi]`` range.
+    """
+    if alpha <= 0 or not math.isfinite(alpha):
+        raise SimulationError(
+            f"heavy_tailed_flow_sizes: alpha must be positive and "
+            f"finite, got {alpha!r}"
+        )
+    if lo < 1 or hi < lo:
+        raise SimulationError(
+            f"heavy_tailed_flow_sizes: need 1 <= lo <= hi, "
+            f"got lo={lo!r} hi={hi!r}"
+        )
+    rng = random.Random(seed)
+    ratio = (lo / hi) ** alpha
+    sizes = []
+    for _ in range(count):
+        u = rng.random()
+        raw = lo / (1.0 - u * (1.0 - ratio)) ** (1.0 / alpha)
+        sizes.append(min(hi, max(lo, int(raw))))
+    return sizes
+
+
+def _directed_packet(
+    flow: FlowSpec, outbound: bool, payload: bytes
+) -> Packet:
+    """One UDP packet of ``flow`` in the given direction.
+
+    The inbound direction swaps addresses and ports end for end, so an
+    inbound packet's reversed five-tuple hashes to the same connection
+    slot its outbound counterpart opened (the ``stateful_firewall``
+    return-path contract).
+    """
+    if outbound:
+        return udp_packet(
+            flow.dst_ip, flow.src_ip, flow.dst_port, flow.src_port,
+            payload=payload, eth_dst=flow.eth_dst, eth_src=flow.eth_src,
+        )
+    return udp_packet(
+        flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port,
+        payload=payload, eth_dst=flow.eth_src, eth_src=flow.eth_dst,
+    )
+
+
+def tcp_flow_stream(
+    flow: FlowSpec, data_packets: int = 4, seed: int = 0
+) -> Iterator[tuple[Packet, bool]]:
+    """One TCP-like bidirectional exchange; yields ``(packet,
+    is_outbound)`` in connection order.
+
+    The exchange is a three-way handshake (SYN out, SYN-ACK in, ACK
+    out), ``data_packets`` alternating data segments starting outbound,
+    and a teardown (FIN out, FIN-ACK in). Segments are carried over UDP
+    — the header library's L4 — with the segment role in the payload:
+    the behaviour under test is the firewall's five-tuple state
+    machine, which sees exactly the bidirectional pattern TCP produces
+    without needing a TCP deparser.
+    """
+    rng = random.Random(seed)
+
+    def segment(marker: bytes, index: int) -> bytes:
+        return marker + b":" + index.to_bytes(4, "big") + rng.randbytes(4)
+
+    script: list[tuple[bool, bytes]] = [
+        (True, b"SYN"), (False, b"SYN-ACK"), (True, b"ACK")
+    ]
+    for index in range(data_packets):
+        script.append((index % 2 == 0, b"DATA"))
+    script.extend([(True, b"FIN"), (False, b"FIN-ACK")])
+    for index, (outbound, marker) in enumerate(script):
+        yield (
+            _directed_packet(flow, outbound, segment(marker, index)),
+            outbound,
+        )
+
+
+def bidirectional_flows(
+    flow: FlowSpec,
+    count: int,
+    seed: int = 0,
+    loss: float = 0.02,
+    reorder_fraction: float = 0.1,
+    reorder_window: int = 3,
+    alpha: float = 1.3,
+) -> list[tuple[Packet, int]]:
+    """A campaign-sized bidirectional packet sequence with loss and
+    reordering; returns exactly ``count`` ``(packet, ingress_port)``
+    pairs.
+
+    Subflow ``k`` perturbs ``flow``'s source port by ``k`` (a distinct
+    five-tuple, hence a distinct firewall slot) and runs one
+    :func:`tcp_flow_stream` exchange whose data length is drawn from
+    :func:`heavy_tailed_flow_sizes`. The concatenated exchanges then
+    pass through a seeded Bernoulli loss filter and a bounded-window
+    adjacent-swap reorder pass. Outbound packets ingress on
+    :data:`INSIDE_PORT`, inbound on :data:`OUTSIDE_PORT`.
+
+    Loss and reordering are applied *before* the sequence is handed to
+    anyone: the device and the oracle both consume the identical final
+    sequence, so a dropped SYN or an inbound segment racing ahead of
+    the outbound that would open its slot changes which state
+    transitions happen — not the oracle's ability to predict them.
+    """
+    if not 0.0 <= loss < 1.0:
+        raise SimulationError(
+            f"bidirectional_flows: loss must be in [0, 1), got {loss!r}"
+        )
+    if not 0.0 <= reorder_fraction <= 1.0:
+        raise SimulationError(
+            f"bidirectional_flows: reorder_fraction must be in [0, 1], "
+            f"got {reorder_fraction!r}"
+        )
+    if reorder_window < 1:
+        raise SimulationError(
+            f"bidirectional_flows: reorder_window must be >= 1, "
+            f"got {reorder_window!r}"
+        )
+
+    margin = count + reorder_window + 8
+    for attempt in range(64):
+        rng = random.Random(seed + attempt * 0x9E3779B9)
+        sizes = heavy_tailed_flow_sizes(
+            max(1, margin), seed=seed + attempt, alpha=alpha
+        )
+        raw: list[tuple[Packet, int]] = []
+        for k, data_packets in enumerate(sizes):
+            if len(raw) >= margin:
+                break
+            subflow = FlowSpec(
+                src_ip=flow.src_ip,
+                dst_ip=flow.dst_ip,
+                src_port=(flow.src_port + k) & 0xFFFF,
+                dst_port=flow.dst_port,
+                eth_src=flow.eth_src,
+                eth_dst=flow.eth_dst,
+            )
+            raw.extend(
+                (
+                    packet,
+                    INSIDE_PORT if outbound else OUTSIDE_PORT,
+                )
+                for packet, outbound in tcp_flow_stream(
+                    subflow, data_packets=data_packets, seed=seed ^ k
+                )
+            )
+        kept = [pair for pair in raw if rng.random() >= loss]
+        if len(kept) >= count:
+            break
+        # Heavy loss ate the margin: retry deterministically with more.
+        margin *= 2
+    else:  # pragma: no cover - loss < 1 always converges
+        raise SimulationError("bidirectional_flows failed to converge")
+
+    picked = kept[:count]
+    for index in range(len(picked)):
+        if rng.random() < reorder_fraction:
+            other = index + rng.randrange(1, reorder_window + 1)
+            if other < len(picked):
+                picked[index], picked[other] = (
+                    picked[other], picked[index]
+                )
+    return picked
+
+
 def default_flow(index: int = 0) -> FlowSpec:
     """A convenient distinct flow for tests and examples."""
     return FlowSpec(
@@ -314,11 +503,14 @@ def default_flow(index: int = 0) -> FlowSpec:
 class WorkloadBundle:
     """One materialized workload: packets, plus arrival times when the
     workload defines its own arrival process (ns, monotonically
-    increasing; ``None`` means back-to-back / constant-rate)."""
+    increasing; ``None`` means back-to-back / constant-rate), plus
+    per-packet ingress ports when the workload is directional
+    (``None`` means the historical fixed ingress, port 0)."""
 
     name: str
     packets: tuple[Packet, ...]
     times_ns: tuple[float, ...] | None = None
+    ingress_ports: tuple[int, ...] | None = None
 
 
 def _udp_workload(
@@ -383,6 +575,32 @@ def _malformed_workload(
     )
 
 
+def _tcp_bidir_workload(
+    flow: FlowSpec, count: int, seed: int, rate_pps: float
+) -> WorkloadBundle:
+    pairs = bidirectional_flows(flow, count, seed=seed)
+    return WorkloadBundle(
+        "tcp_bidir",
+        tuple(packet for packet, _ in pairs),
+        ingress_ports=tuple(port for _, port in pairs),
+    )
+
+
+def _int_probe_workload(
+    flow: FlowSpec, count: int, seed: int, rate_pps: float
+) -> WorkloadBundle:
+    # INT probe traffic: timed arrivals spread across four ingress
+    # ports, so int_telemetry's stamped ingress_ts and ingress_port
+    # both carry real per-packet variation for the oracle to predict.
+    rng = random.Random(seed)
+    return WorkloadBundle(
+        "int_probe",
+        tuple(udp_stream(flow, count, size=96, seed=seed)),
+        times_ns=tuple(poisson_times(rate_pps, count, seed=seed)),
+        ingress_ports=tuple(rng.randrange(4) for _ in range(count)),
+    )
+
+
 #: Named workload generators, keyed by the names scenario matrices use.
 WORKLOADS: dict[
     str, Callable[[FlowSpec, int, int, float], WorkloadBundle]
@@ -393,6 +611,8 @@ WORKLOADS: dict[
     "burst": _burst_workload,
     "onoff": _onoff_workload,
     "malformed": _malformed_workload,
+    "tcp_bidir": _tcp_bidir_workload,
+    "int_probe": _int_probe_workload,
 }
 
 

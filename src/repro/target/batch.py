@@ -224,6 +224,63 @@ def _expr_source(expr, env, local_headers: dict[str, str]) -> str | None:
     return None
 
 
+def _parser_acyclic_unique_extracts(program) -> bool:
+    """True when no parse can ever extract the same header twice.
+
+    The generated parser's duplicate bookkeeping (a ``seen`` set with a
+    membership probe and an insert per extracted header) mirrors the
+    closure parser's header-stack rejection. When the parser FSM is
+    acyclic **and** every header name appears in at most one state's
+    extract list (at most once), a duplicate extract is structurally
+    impossible — no state can run twice and no two states extract the
+    same name — so the bookkeeping is dead work on every packet and
+    the generator elides it.
+    """
+    states = program.parser.states
+    extracted: set[str] = set()
+    for state in states.values():
+        for name in state.extracts:
+            if name in extracted:
+                return False
+            extracted.add(name)
+
+    def successors(state):
+        transition = state.transition
+        if transition.is_select:
+            for case in transition.cases:
+                yield case.next_state
+        yield transition.default
+
+    # Iterative 3-colour DFS over real states (accept/reject/unknown
+    # targets are terminal); any grey→grey edge is a cycle.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in states}
+    for root in states:
+        if colour[root] != WHITE:
+            continue
+        stack = [(root, iter(successors(states[root])))]
+        colour[root] = GREY
+        while stack:
+            name, edges = stack[-1]
+            advanced = False
+            for target in edges:
+                if target not in states:
+                    continue
+                if colour[target] == GREY:
+                    return False
+                if colour[target] == WHITE:
+                    colour[target] = GREY
+                    stack.append(
+                        (target, iter(successors(states[target])))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                colour[name] = BLACK
+                stack.pop()
+    return True
+
+
 def _compile_block_parser(program, honor_reject: bool):
     """Generate ``parse(wire, metadata)`` as specialized source.
 
@@ -234,6 +291,7 @@ def _compile_block_parser(program, honor_reject: bool):
     states = list(program.parser.states.values())
     index_of = {state.name: k for k, state in enumerate(states)}
     cont = repr(not honor_reject)  # verdict for rejected/errored parses
+    track_duplicates = not _parser_acyclic_unique_extracts(program)
 
     namespace: dict = {
         "_Packet": Packet,
@@ -245,7 +303,10 @@ def _compile_block_parser(program, honor_reject: bool):
         "def parse(wire, metadata):",
         "    packet = _Packet()",
         "    headers = packet.headers",
-        "    seen = set()",
+    ]
+    if track_duplicates:
+        lines.append("    seen = set()")
+    lines += [
         "    size = len(wire)",
         "    offset = 0",
         "    steps = 0",
@@ -303,9 +364,14 @@ def _compile_block_parser(program, honor_reject: bool):
                 f"{pad}    metadata['parser_error'] = "
                 f"{PARSER_ERROR_HEADER_TOO_SHORT!r}",
                 f"{pad}    return packet, wire[offset:], {cont}",
-                f"{pad}if {name!r} in seen:",
-                f"{pad}    raise _PacketError({dup!r})",
-                f"{pad}seen.add({name!r})",
+            ]
+            if track_duplicates:
+                body += [
+                    f"{pad}if {name!r} in seen:",
+                    f"{pad}    raise _PacketError({dup!r})",
+                    f"{pad}seen.add({name!r})",
+                ]
+            body += [
                 f"{pad}w = int.from_bytes("
                 f"wire[offset:offset + {byte_width}], 'big')",
                 f"{pad}{var} = {{{fields}}}",
@@ -666,6 +732,7 @@ class BatchProgram:
         clock: int = 0,
         timestamps=None,
         ingress_port: int = 0,
+        ingress_ports=None,
         counters=None,
         registers=None,
         stuck=_EMPTY_SET,
@@ -677,6 +744,12 @@ class BatchProgram:
         ``timestamps`` may be None (derive from the running ``clock``,
         as the per-packet injection path would) or a per-packet list;
         a short list covers a prefix, the rest falls back to the clock.
+        ``ingress_ports`` likewise pins per-lane ingress ports, with
+        lanes beyond the list falling back to the scalar
+        ``ingress_port``. Lane order equals arrival order on every
+        schedule — the packet-major path (taken by all register-bearing
+        programs) additionally feeds each lane's state to the next, so
+        stateful oracles tracking the same sequence stay in sync.
         """
         wires = list(wires)
         n = len(wires)
@@ -684,15 +757,22 @@ class BatchProgram:
             counters = {}
         if registers is None:
             registers = {}
+        ports_covered = (
+            len(ingress_ports) if ingress_ports is not None else 0
+        )
+        ports = [
+            ingress_ports[i] if i < ports_covered else ingress_port
+            for i in range(n)
+        ]
         ts_full = timestamps is not None and len(timestamps) >= n
         if self.columnar and ts_full:
             return self._run_columnar(
-                wires, list(timestamps[:n]), ingress_port,
+                wires, list(timestamps[:n]), ports,
                 counters, registers, stuck, frozen,
             )
         if self.columnar and timestamps is None and self.timestamp_free:
             outs = self._run_columnar(
-                wires, [0] * n, ingress_port,
+                wires, [0] * n, ports,
                 counters, registers, stuck, frozen,
             )
             # Backfill the running clock: packet i is stamped with the
@@ -716,7 +796,7 @@ class BatchProgram:
         for i, wire in enumerate(wires):
             ts = timestamps[i] if i < covered else clk
             out = self._run_columnar(
-                [wire], [ts], ingress_port,
+                [wire], [ts], [ports[i]],
                 counters, registers, stuck, frozen,
             )[0]
             outs.append(out)
@@ -725,7 +805,7 @@ class BatchProgram:
         return outs
 
     def _run_columnar(
-        self, wires, ts_list, port, counters, registers, stuck, frozen
+        self, wires, ts_list, ports, counters, registers, stuck, frozen
     ):
         n = len(wires)
         parse = self.parse
@@ -749,7 +829,7 @@ class BatchProgram:
             w = 4 + -(-max(1, size) // bus)
             word[i] = w
             metadata = dict(template)
-            metadata["ingress_port"] = port
+            metadata["ingress_port"] = ports[i]
             metadata["packet_length"] = size & 0xFFFF
             metadata["ingress_global_timestamp"] = ts_list[i] & _TS_MASK
             try:

@@ -318,6 +318,7 @@ class NetworkDevice:
         wires,
         timestamps=None,
         port: int = 0,
+        ports=None,
         on_error: str = "raise",
     ):
         """Inject a block of test frames through the batch kernel.
@@ -329,6 +330,10 @@ class NetworkDevice:
         engine, no taps are attached and no faults are armed — the
         kernel cannot publish snapshots or model faults, so those
         cases fall back to the per-packet pipeline transparently.
+
+        ``ports`` optionally pins per-frame ingress ports (missing
+        entries fall back to the scalar ``port``) — how bidirectional
+        streams thread each packet's direction through the block path.
 
         Returns ``(timestamp, outcome)`` per frame, where ``outcome``
         is the :class:`TargetRun` or — with ``on_error="capture"`` —
@@ -350,12 +355,13 @@ class NetworkDevice:
                 clock=self.clock_cycles,
                 timestamps=timestamps,
                 ingress_port=port,
+                ingress_ports=ports,
                 counters=self._state.counters,
                 registers=self._state.registers,
             )
         else:
             outcomes = self._inject_block_fallback(
-                wires, timestamps, port
+                wires, timestamps, port, ports
             )
         account = self._account
         results = []
@@ -372,11 +378,12 @@ class NetworkDevice:
             raise first_error
         return results
 
-    def _inject_block_fallback(self, wires, timestamps, port):
+    def _inject_block_fallback(self, wires, timestamps, port, ports=None):
         """Per-packet block execution with batch-identical outcomes."""
         pipeline = self._pipeline
         clock = self.clock_cycles
         covered = len(timestamps) if timestamps is not None else 0
+        ports_covered = len(ports) if ports is not None else 0
         outcomes = []
         for index, wire in enumerate(wires):
             timestamp = (
@@ -384,7 +391,11 @@ class NetworkDevice:
             )
             try:
                 run = pipeline.process(
-                    wire, ingress_port=port, timestamp=timestamp
+                    wire,
+                    ingress_port=(
+                        ports[index] if index < ports_covered else port
+                    ),
+                    timestamp=timestamp,
                 )
             except Exception as exc:
                 outcomes.append((timestamp, None, exc))

@@ -134,6 +134,9 @@ def default_cases() -> list[DifferentialCase]:
       mask has no leading care-bit run).
     * ``range_gate`` — RANGE quantization on Tofino, loud compile
       rejection on SDNet.
+    * ``stateful_firewall`` — the register-stateful control, driven by
+      bidirectional flow traffic; session-scoped deviant oracles must
+      thread register state identically on every backend.
     """
     return [
         DifferentialCase("strict_parser"),
@@ -141,6 +144,7 @@ def default_cases() -> list[DifferentialCase]:
         DifferentialCase("ipv4_router", provision=provision_router),
         DifferentialCase("acl_firewall", provision=provision_acl_gate),
         DifferentialCase(range_gate, provision=provision_range_gate),
+        DifferentialCase("stateful_firewall", bidirectional=True),
     ]
 
 

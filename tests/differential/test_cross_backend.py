@@ -166,4 +166,5 @@ class TestHarnessPieces:
             "ipv4_router",
             "acl_firewall",
             "range_gate",
+            "stateful_firewall",
         ]

@@ -113,7 +113,7 @@ class TestGoldenBaselines:
         # The CI gate's precondition on this very checkout: re-running
         # the seeded sweeps reproduces the committed files exactly.
         paths = write_baselines(tmp_path, workers=2)
-        for name in ("campaign", "differential"):
+        for name in ("campaign", "stateful", "differential"):
             fresh = paths[name].read_text()
             committed = (BASELINE_DIR / f"{name}.json").read_text()
             assert fresh == committed, (

@@ -80,13 +80,14 @@ class TestReferenceExpectation:
         assert all(e.wire == expectation.wire for e in per_port)
 
     def test_flood_prediction_without_port_count(self):
+        """An oracle that cannot expand a flood must say so: an empty
+        egress_ports expectation checks nothing."""
         from repro.p4.stdlib import l2_switch
 
-        expectation = reference_expectation(
-            l2_switch(), routed_packets(1)[0].pack()
-        )
-        assert expectation.egress_ports == ()
-        assert expectation.expand_per_port() == [expectation]
+        with pytest.raises(NetDebugError, match="num_ports"):
+            reference_expectation(
+                l2_switch(), routed_packets(1)[0].pack()
+            )
 
     def test_missing_egress_spec_is_clear_error(self, monkeypatch):
         """A forward prediction without egress_spec metadata must raise

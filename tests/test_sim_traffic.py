@@ -171,7 +171,8 @@ class TestWorkloadRegistry:
         from repro.sim.traffic import WORKLOADS, build_workload
 
         assert set(WORKLOADS) == {
-            "udp", "imix", "poisson", "burst", "onoff", "malformed"
+            "udp", "imix", "poisson", "burst", "onoff", "malformed",
+            "tcp_bidir", "int_probe",
         }
         for name in WORKLOADS:
             bundle = build_workload(name, default_flow(), 6, seed=2)

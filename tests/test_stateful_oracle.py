@@ -1,0 +1,218 @@
+"""Session-scoped stateful oracle: register round-trips and identity.
+
+The oracle refactor's contract, pinned end to end:
+
+* **register round-trip** — an outbound ``stateful_firewall`` packet
+  opens a flow slot, after which the oracle predicts (and every engine
+  delivers) the return-path packet *forwarded*; a cold inbound packet
+  is predicted (and observed) dropped;
+* **stateless control** — :class:`StatelessOracle` reproduces the
+  historical fresh-state-per-packet prediction, so it must keep
+  forbidding the return path even after the outbound packet;
+* **engine identity** — register-bearing programs take the batch
+  kernel's packet-major schedule, so the stateful session protocol is
+  block-compatible and reports match the lockstep path byte-for-byte;
+* **distribution identity** — the seeded ``stateful_firewall`` ×
+  ``tcp_bidir`` campaign renders to identical JSON bytes run serially,
+  on a 4-worker pool, and on a 2-worker localhost cluster.
+"""
+
+import pytest
+
+from repro.netdebug.campaign import ScenarioMatrix, run_campaign
+from repro.netdebug.generator import StreamSpec
+from repro.netdebug.oracle import ORACLES, ReferenceOracle, StatelessOracle
+from repro.netdebug.session import ValidationSession, run_session
+from repro.p4.stdlib import strict_parser
+from repro.p4.stdlib_ext import stateful_firewall
+from repro.packet.builder import udp_packet
+from repro.packet.headers import ipv4
+from repro.sim.traffic import (
+    INSIDE_PORT,
+    OUTSIDE_PORT,
+    bidirectional_flows,
+    default_flow,
+)
+from repro.target.device import NetworkDevice
+from repro.target.reference import ReferenceCompiler
+
+ENGINES = ("tree", "closure", "batch")
+
+
+def make_device(engine, name="sfw"):
+    device = NetworkDevice(
+        name, ReferenceCompiler(), num_ports=8, engine=engine
+    )
+    device.load(stateful_firewall())
+    return device
+
+
+def outbound_wire() -> bytes:
+    """Inside host 10.0.0.1:1234 → outside host 10.9.0.1:4321."""
+    return udp_packet(ipv4("10.9.0.1"), ipv4("10.0.0.1"), 4321, 1234).pack()
+
+
+def inbound_wire() -> bytes:
+    """The exact reply five-tuple of :func:`outbound_wire`."""
+    return udp_packet(ipv4("10.0.0.1"), ipv4("10.9.0.1"), 1234, 4321).pack()
+
+
+# ---------------------------------------------------------------------------
+# Register round-trip: oracle prediction ≡ device behaviour
+# ---------------------------------------------------------------------------
+
+class TestRegisterRoundTrip:
+    def test_oracle_threads_flow_state(self):
+        oracle = ReferenceOracle(stateful_firewall(), num_ports=8)
+        opened = oracle.expect(outbound_wire(), ingress_port=INSIDE_PORT)
+        assert not opened.forbid and opened.egress_port == OUTSIDE_PORT
+        reply = oracle.expect(inbound_wire(), ingress_port=OUTSIDE_PORT)
+        assert not reply.forbid and reply.egress_port == INSIDE_PORT
+
+    def test_cold_inbound_is_forbidden(self):
+        oracle = ReferenceOracle(stateful_firewall(), num_ports=8)
+        cold = oracle.expect(inbound_wire(), ingress_port=OUTSIDE_PORT)
+        assert cold.forbid
+
+    def test_reset_forgets_open_flows(self):
+        oracle = ReferenceOracle(stateful_firewall(), num_ports=8)
+        oracle.expect(outbound_wire(), ingress_port=INSIDE_PORT)
+        oracle.reset()
+        assert oracle.expect(
+            inbound_wire(), ingress_port=OUTSIDE_PORT
+        ).forbid
+
+    def test_stateless_oracle_keeps_historical_semantics(self):
+        oracle = StatelessOracle(stateful_firewall(), num_ports=8)
+        oracle.expect(outbound_wire(), ingress_port=INSIDE_PORT)
+        # Fresh state per packet: the return path stays forbidden.
+        assert oracle.expect(
+            inbound_wire(), ingress_port=OUTSIDE_PORT
+        ).forbid
+
+    def test_registry_names_the_two_semantics(self):
+        assert ORACLES["stateful"] is ReferenceOracle
+        assert ORACLES["stateless"] is StatelessOracle
+        assert ReferenceOracle.stateful and not StatelessOracle.stateful
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_device_agrees_on_round_trip(self, engine):
+        device = make_device(engine, name=f"rt-{engine}")
+        opened = device.inject(outbound_wire(), port=INSIDE_PORT)
+        assert opened.result.verdict.value == "forwarded"
+        assert opened.result.metadata["egress_spec"] == OUTSIDE_PORT
+        reply = device.inject(inbound_wire(), port=OUTSIDE_PORT)
+        assert reply.result.verdict.value == "forwarded"
+        assert reply.result.metadata["egress_spec"] == INSIDE_PORT
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_cold_inbound_dropped_on_device(self, engine):
+        device = make_device(engine, name=f"cold-{engine}")
+        run = device.inject(inbound_wire(), port=OUTSIDE_PORT)
+        assert run.result.verdict.value == "dropped"
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("seed", (3, 2018))
+    def test_property_predictions_match_device(self, engine, seed):
+        """Over a seeded bidirectional sweep, every per-packet oracle
+        prediction (forbid vs forward, and the egress port) matches the
+        device, on every engine — packet order is the whole point."""
+        pairs = bidirectional_flows(default_flow(), 48, seed=seed)
+        oracle = ReferenceOracle(stateful_firewall(), num_ports=8)
+        device = make_device(engine, name=f"prop-{engine}-{seed}")
+        forwarded_replies = 0
+        for packet, port in pairs:
+            wire = packet.pack()
+            expectation = oracle.expect(wire, ingress_port=port)
+            run = device.inject(wire, port=port)
+            if expectation.forbid:
+                assert run.result.verdict.value == "dropped"
+            else:
+                assert run.result.verdict.value == "forwarded"
+                assert (
+                    run.result.metadata["egress_spec"]
+                    == expectation.egress_port
+                )
+                if port == OUTSIDE_PORT:
+                    forwarded_replies += 1
+        # The sweep actually exercised opened return paths.
+        assert forwarded_replies > 0
+
+
+# ---------------------------------------------------------------------------
+# Batch-kernel compatibility of the stateful session protocol
+# ---------------------------------------------------------------------------
+
+class TestBatchCompatibility:
+    def test_register_programs_take_packet_major_path(self):
+        """The stateful oracle is block-compatible *because* register
+        programs run packet-major: arrival order is preserved exactly.
+        A register-free program keeps the columnar schedule."""
+        stateful = make_device("batch", name="pm-sfw")
+        assert stateful._batch is not None
+        assert stateful._batch.columnar is False
+        stateless = NetworkDevice(
+            "pm-sp", ReferenceCompiler(), num_ports=8, engine="batch"
+        )
+        stateless.load(strict_parser())
+        assert stateless._batch is not None
+        assert stateless._batch.columnar is True
+
+    def test_stateful_session_block_path_matches_lockstep(self):
+        """A session with a stateful ``oracle_factory`` stays
+        block-eligible; the batch engine's report must reproduce the
+        closure engine's lockstep report exactly."""
+        pairs = bidirectional_flows(default_flow(), 24, seed=11)
+        session = ValidationSession(
+            name="stateful-block",
+            streams=[
+                StreamSpec(
+                    stream_id=1,
+                    packets=[packet for packet, _ in pairs],
+                    ingress_ports=[port for _, port in pairs],
+                )
+            ],
+            oracle_factory=ReferenceOracle,
+        )
+        reports = {
+            engine: run_session(
+                make_device(engine, name="sess-sfw"), session
+            ).to_dict()
+            for engine in ("closure", "batch")
+        }
+        assert reports["closure"] == reports["batch"]
+
+
+# ---------------------------------------------------------------------------
+# Distribution byte-identity (the PR's acceptance criterion)
+# ---------------------------------------------------------------------------
+
+class TestDistributedByteIdentity:
+    def _matrix(self):
+        return ScenarioMatrix(
+            programs=["stateful_firewall"],
+            targets=["reference", "sdnet", "tofino"],
+            faults={"baseline": ()},
+            workloads=["tcp_bidir"],
+            count=10,
+            seed=2018,
+            oracle="stateful",
+        )
+
+    def test_serial_pool_cluster_byte_identical(self):
+        from repro.netdebug.cluster import run_cluster_campaign
+
+        serial = run_campaign(self._matrix(), workers=1, name="ident")
+        pool = run_campaign(self._matrix(), workers=4, name="ident")
+        cluster = run_cluster_campaign(
+            self._matrix(), workers=2, name="ident"
+        )
+        assert serial.to_json() == pool.to_json()
+        assert serial.to_json() == cluster.to_json()
+        # Spec-faithful targets pass under the stateful prediction —
+        # i.e. the oracle really marked opened return paths forwarded.
+        by_target = {
+            result.scenario.target: result for result in serial.results
+        }
+        assert by_target["reference"].passed
+        assert by_target["sdnet"].passed

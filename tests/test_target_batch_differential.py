@@ -163,6 +163,127 @@ def test_batch_interleaved_rejects_match_tree():
 
 
 # ---------------------------------------------------------------------------
+# Duplicate-extract bookkeeping elision
+# ---------------------------------------------------------------------------
+
+def looping_parser_program():
+    """A parser FSM with a self-loop: ether_type 0x9999 re-enters
+    ``start``, which re-extracts ethernet — the duplicate-header case
+    the ``seen`` guard exists for. Targets reject it statically (parse
+    depth), so it only exercises the eligibility analysis itself."""
+    from repro.p4.actions import Forward
+    from repro.p4.dsl import ProgramBuilder
+    from repro.p4.expr import Const, fld
+    from repro.packet.headers import ETHERNET
+
+    b = ProgramBuilder("looping_parser")
+    b.header(ETHERNET)
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(0x9999, "start")],
+        default="done",
+    )
+    b.parser_state("done").accept()
+    b.ingress.action("fwd", [], [Forward(Const(1, 9))])
+    b.ingress.call("fwd")
+    b.emit("ethernet")
+    return b.build()
+
+
+def duplicate_extract_program():
+    """Acyclic FSM whose second state re-extracts ethernet: compiles
+    (finite parse depth) but every ether_type-0x9999 parse must raise
+    the duplicate-header error — the guard cannot be elided."""
+    from repro.p4.actions import Forward
+    from repro.p4.dsl import ProgramBuilder
+    from repro.p4.expr import Const, fld
+    from repro.packet.headers import ETHERNET
+
+    b = ProgramBuilder("duplicate_extract")
+    b.header(ETHERNET)
+    b.parser_state("start", extracts=["ethernet"]).select(
+        fld("ethernet", "ether_type"),
+        [(0x9999, "again")],
+        default="done",
+    )
+    b.parser_state("again", extracts=["ethernet"]).accept()
+    b.parser_state("done").accept()
+    b.ingress.action("fwd", [], [Forward(Const(1, 9))])
+    b.ingress.call("fwd")
+    b.emit("ethernet")
+    return b.build()
+
+
+def test_stdlib_parsers_elide_duplicate_bookkeeping():
+    """Every stdlib(+ext) parser is acyclic with unique extracts, so the
+    generated source must carry no ``seen`` set — the byte-identity
+    tests above then pin that the elision is semantically invisible."""
+    from repro.target.batch import (
+        _compile_block_parser,
+        _parser_acyclic_unique_extracts,
+    )
+
+    for name in sorted(ALL_FACTORIES):
+        program = ALL_FACTORIES[name]()
+        assert _parser_acyclic_unique_extracts(program), name
+        parse = _compile_block_parser(program, honor_reject=True)
+        assert parse is not None, name
+        assert "seen" not in parse.__code__.co_varnames, name
+
+
+def test_cyclic_parser_is_ineligible():
+    """A looping FSM must fail the eligibility analysis even though
+    targets reject it before a device ever runs it."""
+    from repro.target.batch import _parser_acyclic_unique_extracts
+
+    assert not _parser_acyclic_unique_extracts(looping_parser_program())
+
+
+def test_duplicate_extract_parser_keeps_guard_and_matches_closure():
+    """A duplicate-extract parser is ineligible: the generated source
+    keeps the guard, and block outcomes — including the
+    duplicate-header error on the re-extracting frame — still match
+    per-packet execution."""
+    from repro.packet.builder import ethernet_frame
+    from repro.packet.headers import mac
+    from repro.target.batch import (
+        _compile_block_parser,
+        _parser_acyclic_unique_extracts,
+    )
+
+    program = duplicate_extract_program()
+    assert not _parser_acyclic_unique_extracts(program)
+    parse = _compile_block_parser(program, honor_reject=True)
+    assert parse is not None
+    assert "seen" in parse.__code__.co_varnames
+
+    frames = [
+        ethernet_frame(
+            mac("02:00:00:00:00:02"), mac("02:00:00:00:00:01"), 0x9999,
+            payload=b"\x00" * 14,
+        ).pack(),
+        ethernet_frame(
+            mac("02:00:00:00:00:02"), mac("02:00:00:00:00:01"), 0x0800
+        ).pack(),
+    ]
+    closure = make_device(
+        "dup-guard", ReferenceCompiler, duplicate_extract_program,
+        "closure",
+    )
+    batch = make_device(
+        "dup-guard", ReferenceCompiler, duplicate_extract_program, "batch"
+    )
+    assert_block_matches(closure, batch, frames)
+    outcome = normalize(
+        make_device(
+            "dup-guard2", ReferenceCompiler, duplicate_extract_program,
+            "batch",
+        ).inject_block(frames, on_error="capture")[0]
+    )
+    assert outcome[0] == "raised" and "duplicate header" in outcome[2]
+
+
+# ---------------------------------------------------------------------------
 # Session- and campaign-level byte identity
 # ---------------------------------------------------------------------------
 
