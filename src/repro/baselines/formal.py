@@ -17,34 +17,36 @@ this blind spot, and the comparison experiments use
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..exceptions import P4RuntimeError, VerificationError
-from ..p4.expr import Const, Expr, FieldRef, MetaRef
+from ..exceptions import P4RuntimeError
+from ..p4.expr import Expr
 from ..p4.interpreter import Interpreter, PipelineResult, Verdict
-from ..p4.parser import ACCEPT, REJECT
 from ..p4.program import P4Program
 from ..p4.table import KeyPattern, MatchKind, Table, TableEntry
-from ..packet.packet import Header, Packet
-from .symbolic import Infeasible, SymbolicState, ValueSet
+from .paths import (
+    MAX_CANDIDATES,
+    MAX_PARSER_PATHS,
+    ParserPath,
+    PathEnumerator,
+)
+from .symbolic import SymbolicState
 
 __all__ = [
     "Property",
     "Violation",
     "VerificationReport",
+    "ParserPath",
     "SymbolicVerifier",
+    "MAX_PARSER_PATHS",
+    "MAX_CANDIDATES",
     "prop_no_invalid_header_access",
     "prop_forwarded",
     "prop_rejected_never_forwarded",
     "equivalence_check",
 ]
-
-#: Cap on parser paths and per-program candidates, to bound verification.
-MAX_PARSER_PATHS = 256
-MAX_CANDIDATES = 4096
 
 
 @dataclass(frozen=True)
@@ -159,224 +161,39 @@ def prop_rejected_never_forwarded() -> Property:
 
 
 # ----------------------------------------------------------------------
-# Parser path enumeration
+# Parser path enumeration — the walker itself lives in
+# :mod:`repro.baselines.paths` (shared with the coverage generator);
+# the verifier holds a spec-model enumerator and delegates.
 # ----------------------------------------------------------------------
-@dataclass
-class ParserPath:
-    """One path through the parser FSM."""
-
-    states: list[str]
-    extracted: list[str]
-    sym: SymbolicState
-    outcome: str  # ACCEPT or REJECT
-
-
 class SymbolicVerifier:
     """Spec-level property verifier for one program."""
 
     def __init__(self, program: P4Program, seed: int = 0):
         self.program = program
         self._rng = random.Random(seed)
+        self._enumerator = PathEnumerator(program)
 
     # -- parser -----------------------------------------------------------
     def parser_paths(self) -> list[ParserPath]:
         """All bounded paths through the parser with their constraints."""
-        env = self.program.env
-        paths: list[ParserPath] = []
-        start = self.program.parser.start
-
-        def walk(
-            state_name: str,
-            visited: tuple[str, ...],
-            extracted: list[str],
-            sym: SymbolicState,
-        ) -> None:
-            if len(paths) >= MAX_PARSER_PATHS:
-                return
-            if state_name in (ACCEPT, REJECT):
-                paths.append(
-                    ParserPath(
-                        list(visited), list(extracted), sym, state_name
-                    )
-                )
-                return
-            if visited.count(state_name) > 1:
-                return  # refuse cyclic paths beyond one revisit
-            state = self.program.parser.state(state_name)
-            new_extracted = extracted + list(state.extracts)
-            for header in state.extracts:
-                sym.extracted.append(header)
-
-            if state.verify is not None:
-                # Branch: verify fails -> reject. Constrain only the
-                # common "field op const" shapes; otherwise fork blindly.
-                fail_sym = sym.fork()
-                fail_sym.note(f"verify fails in {state_name}")
-                try:
-                    self._constrain_bool(fail_sym, state.verify[0], False)
-                    paths.append(
-                        ParserPath(
-                            list(visited) + [state_name],
-                            list(new_extracted),
-                            fail_sym,
-                            REJECT,
-                        )
-                    )
-                except Infeasible:
-                    pass
-                try:
-                    self._constrain_bool(sym, state.verify[0], True)
-                except Infeasible:
-                    return
-
-            transition = state.transition
-            if not transition.is_select:
-                walk(
-                    transition.default,
-                    visited + (state_name,),
-                    new_extracted,
-                    sym,
-                )
-                return
-            # Select: branch per case plus the default.
-            taken_values: list[int] = []
-            single_exact_key = (
-                len(transition.keys) == 1
-                and isinstance(transition.keys[0], (FieldRef, MetaRef))
-            )
-            key_path = (
-                self._expr_path(transition.keys[0])
-                if single_exact_key
-                else None
-            )
-            key_width = (
-                transition.keys[0].width(env) if single_exact_key else 0
-            )
-            for case in transition.cases:
-                branch = sym.fork()
-                feasible = True
-                if single_exact_key and len(case.patterns) == 1:
-                    value, mask_ = case.patterns[0]
-                    if mask_ == -1:
-                        try:
-                            branch.constrain_eq(key_path, key_width, value)
-                            taken_values.append(value)
-                        except Infeasible:
-                            feasible = False
-                    else:
-                        branch.note(
-                            f"masked select {value:#x}/{mask_:#x}"
-                        )
-                if feasible:
-                    walk(
-                        case.next_state,
-                        visited + (state_name,),
-                        new_extracted,
-                        branch,
-                    )
-            default_branch = sym.fork()
-            feasible = True
-            if single_exact_key:
-                for value in taken_values:
-                    try:
-                        default_branch.constrain_ne(
-                            key_path, key_width, value
-                        )
-                    except Infeasible:
-                        feasible = False
-                        break
-            if feasible:
-                walk(
-                    transition.default,
-                    visited + (state_name,),
-                    new_extracted,
-                    default_branch,
-                )
-
-        walk(start, (), [], SymbolicState())
-        return paths
+        return self._enumerator.parser_paths()
 
     def _expr_path(self, expr: Expr) -> str:
-        if isinstance(expr, FieldRef):
-            return expr.path
-        if isinstance(expr, MetaRef):
-            return f"meta.{expr.name}"
-        raise VerificationError(f"not a simple reference: {expr!r}")
+        return self._enumerator.expr_path(expr)
 
     def _constrain_bool(
         self, sym: SymbolicState, expr: Expr, want: bool
     ) -> None:
-        """Best-effort refinement of ``expr == want`` on the state.
-
-        Handles ``field == const`` / ``field >= const`` (and conjunctions
-        when asserting True). Anything else becomes a note — the
-        candidate is over-approximate and the concrete replay decides.
-        """
-        from ..p4.expr import BinOp
-
-        env = self.program.env
-        if isinstance(expr, BinOp):
-            if expr.op == "and" and want:
-                self._constrain_bool(sym, expr.left, True)
-                self._constrain_bool(sym, expr.right, True)
-                return
-            if expr.op == "and" and not want:
-                # ¬(a ∧ b) — cover the ¬a disjunct; the concrete replay
-                # keeps this sound (never a false violation).
-                self._constrain_bool(sym, expr.left, False)
-                return
-            simple_ref = isinstance(expr.left, (FieldRef, MetaRef))
-            const_right = isinstance(expr.right, Const)
-            if simple_ref and const_right:
-                path = self._expr_path(expr.left)
-                width = expr.left.width(env)
-                value = expr.right.value
-                if expr.op == "==":
-                    if want:
-                        sym.constrain_eq(path, width, value)
-                    else:
-                        sym.constrain_ne(path, width, value)
-                    return
-                if expr.op == ">=" and not want:
-                    # field < value: representable when small.
-                    if value <= 64:
-                        allowed = frozenset(range(value))
-                        sym.set(
-                            path,
-                            sym.get(path, width).refine_in(allowed),
-                        )
-                        return
-                if expr.op == ">=" and want:
-                    sym.note(f"{path} >= {value}")
-                    # Prefer a witness at the boundary.
-                    current = sym.get(path, width)
-                    if current.kind == "any":
-                        sym.set(path, ValueSet.concrete(width, value))
-                    return
-        sym.note(f"unrefined constraint: {expr!r} == {want}")
+        self._enumerator.constrain_bool(sym, expr, want)
 
     # -- candidate construction --------------------------------------------
     def build_packet(self, path: ParserPath, sym: SymbolicState) -> bytes:
         """Materialize a concrete packet following ``path``."""
-        headers: list[Header] = []
-        for name in path.extracted:
-            spec = self.program.env.header(name)
-            values = {}
-            for fspec in spec.fields:
-                dotted = f"{name}.{fspec.name}"
-                if dotted in sym.fields:
-                    values[fspec.name] = sym.fields[dotted].pick(
-                        fspec.default
-                    )
-                else:
-                    values[fspec.name] = fspec.default
-            headers.append(Header(spec, values))
-        packet = Packet(headers=headers, payload=b"\x00" * 16)
-        return packet.pack()
+        return self._enumerator.build_packet(path, sym)
 
     def _table_choices(self, table: Table) -> list[TableEntry | None]:
         """Branches per table: each installed entry plus the miss."""
-        return list(table.entries) + [None]
+        return self._enumerator.table_choices(table)
 
     def _constrain_for_entry(
         self,
@@ -386,90 +203,18 @@ class SymbolicVerifier:
         misses: list[TableEntry],
     ) -> bool:
         """Refine ``sym`` so the table chooses ``entry`` (None=miss)."""
-        env = self.program.env
-        try:
-            if entry is not None:
-                for key, pattern in zip(table.keys, entry.patterns):
-                    if not isinstance(key.expr, (FieldRef, MetaRef)):
-                        continue
-                    path = self._expr_path(key.expr)
-                    width = key.expr.width(env)
-                    value = self._pattern_value(key.kind, pattern, width)
-                    if isinstance(key.expr, FieldRef):
-                        sym.constrain_eq(path, width, value)
-            else:
-                for miss_entry in misses:
-                    for key, pattern in zip(table.keys, miss_entry.patterns):
-                        if key.kind is not MatchKind.EXACT:
-                            continue
-                        if not isinstance(key.expr, FieldRef):
-                            continue
-                        sym.constrain_ne(
-                            self._expr_path(key.expr),
-                            key.expr.width(env),
-                            pattern.value,
-                        )
-        except Infeasible:
-            return False
-        return True
+        return self._enumerator.constrain_for_entry(
+            sym, table, entry, misses
+        )
 
-    @staticmethod
     def _pattern_value(
-        kind: MatchKind, pattern: KeyPattern, width: int
+        self, kind: MatchKind, pattern: KeyPattern, width: int
     ) -> int:
-        if kind is MatchKind.EXACT:
-            return pattern.value
-        if kind is MatchKind.LPM:
-            return pattern.value  # the prefix's own address matches
-        if kind is MatchKind.TERNARY:
-            return pattern.value & (pattern.mask or 0)
-        if kind is MatchKind.RANGE:
-            return pattern.value
-        raise VerificationError(f"unknown kind {kind!r}")
+        return self._enumerator.pattern_value(kind, pattern, width)
 
     def candidates(self) -> list[bytes]:
         """Concrete witness packets covering behaviour classes."""
-        tables = list(self.program.all_tables().values())
-        packets: list[bytes] = []
-        for path in self.parser_paths():
-            if path.outcome == REJECT:
-                try:
-                    packets.append(self.build_packet(path, path.sym))
-                except Infeasible:
-                    pass
-                continue
-            choice_lists = [self._table_choices(t) for t in tables]
-            if not choice_lists:
-                try:
-                    packets.append(self.build_packet(path, path.sym))
-                except Infeasible:
-                    pass
-                continue
-            for combo in itertools.product(*choice_lists):
-                if len(packets) >= MAX_CANDIDATES:
-                    break
-                sym = path.sym.fork()
-                feasible = True
-                for table, entry in zip(tables, combo):
-                    if not self._constrain_for_entry(
-                        sym, table, entry, table.entries
-                    ):
-                        feasible = False
-                        break
-                if not feasible:
-                    continue
-                try:
-                    packets.append(self.build_packet(path, sym))
-                except Infeasible:
-                    continue
-        # Deduplicate while preserving order.
-        seen: set[bytes] = set()
-        unique = []
-        for packet in packets:
-            if packet not in seen:
-                seen.add(packet)
-                unique.append(packet)
-        return unique
+        return self._enumerator.candidates()
 
     # -- main entry ----------------------------------------------------------
     def verify(self, properties: list[Property]) -> VerificationReport:

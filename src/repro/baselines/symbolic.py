@@ -96,8 +96,19 @@ class ValueSet:
         excluded = (
             self.values | {value} if self.kind == "notin" else frozenset({value})
         )
-        if len(excluded) > mask(self.width):
+        domain = mask(self.width) + 1
+        if len(excluded) >= domain:
             raise Infeasible("excluded the whole domain")
+        # Representation switch: once exclusions cover half a small
+        # domain, the complement is the smaller (and exact) encoding —
+        # refinements and witness picks then cost O(|remaining|)
+        # instead of growing the excluded set without bound. Wide
+        # fields keep NOT-IN: their complements are astronomically
+        # large, and the first-gap pick below stays cheap regardless.
+        if self.width <= 16 and len(excluded) * 2 >= domain:
+            return ValueSet(
+                self.width, "in", frozenset(range(domain)) - excluded
+            )
         return ValueSet(self.width, "notin", excluded)
 
     def refine_in(self, allowed: frozenset[int]) -> "ValueSet":
@@ -121,12 +132,18 @@ class ValueSet:
             return min(self.values)
         if self.kind == "any":
             return 0
-        # NOT-IN: smallest value outside the excluded set.
+        # NOT-IN: smallest value outside the excluded set, derived
+        # arithmetically as the first gap in the sorted exclusions —
+        # O(n log n) in the excluded count, never O(2^width) probing
+        # (a 32-bit field excluding {0..k} answers k+1 immediately).
         candidate = 0
-        while candidate in self.values:
-            candidate += 1
-            if candidate > mask(self.width):
-                raise Infeasible("no value outside NOT-IN set")
+        for excluded in sorted(self.values):
+            if excluded > candidate:
+                break
+            if excluded == candidate:
+                candidate += 1
+        if candidate > mask(self.width):
+            raise Infeasible("no value outside NOT-IN set")
         return candidate
 
     def __str__(self) -> str:

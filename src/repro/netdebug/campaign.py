@@ -47,7 +47,12 @@ from ..exceptions import NetDebugError, UnknownTargetError
 from ..p4.stdlib import PROGRAMS
 from ..p4.program import P4Program
 from ..packet.headers import mac
-from ..sim.traffic import WORKLOADS, build_workload, default_flow
+from ..sim.traffic import (
+    WORKLOADS,
+    WorkloadContext,
+    build_workload,
+    default_flow,
+)
 from ..target import artifact_cache
 from ..target.compiler import CompiledProgram
 from ..target.device import ENGINES, NetworkDevice
@@ -572,6 +577,15 @@ def _run_shard(job: tuple) -> "ScenarioResult":
         default_flow(stable_hash64(scenario.key) % 8),
         scenario.count,
         seed=scenario.seed,
+        # Program-aware workloads (coverage) derive packets from the
+        # cell's own provisioned artifact; seeded-random factories
+        # never see this.
+        context=WorkloadContext(
+            scenario.program,
+            scenario.target,
+            scenario.setup,
+            compiled=device.compiled,
+        ),
     )
     frames = [packet.pack() for packet in bundle.packets]
     # StreamSpec.timestamps is in device-clock cycles; the workload's
@@ -639,6 +653,7 @@ def _run_shard(job: tuple) -> "ScenarioResult":
         report=report,
         suite=suite,
         cache_stats=cache_delta if any(cache_delta.values()) else None,
+        coverage=bundle.coverage,
     )
 
 
@@ -705,6 +720,12 @@ class ScenarioResult:
     #: baselines pin ``to_dict`` byte-for-byte, and cache behaviour is
     #: environment, not outcome.
     cache_stats: dict[str, int] | None = None
+    #: The workload's coverage map
+    #: (:class:`repro.netdebug.coverage.CoverageMap`) when the scenario
+    #: ran a path-guided workload; None for seeded-random workloads.
+    #: Serialized (conditionally), so ``baselines/coverage.json`` pins
+    #: witness bytes, signatures and prune reasons.
+    coverage: object | None = None
 
     @property
     def passed(self) -> bool:
@@ -746,17 +767,28 @@ class ScenarioResult:
         # oracle existed.
         if self.scenario.oracle != "stateless":
             scenario["oracle"] = self.scenario.oracle
-        return {
+        payload = {
             "scenario": scenario,
             "verdict": self.verdict,
             "score": round(self.score, 6),
             "capability": self.capability.value,
             "report": self.report.to_dict(),
         }
+        # Conditional like the scenario axes above: pre-coverage
+        # baselines must keep round-tripping byte-identically.
+        if self.coverage is not None:
+            payload["coverage"] = self.coverage.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioResult":
         s = data["scenario"]
+        coverage = None
+        if "coverage" in data:
+            # Deferred: coverage imports this module's registries.
+            from .coverage import CoverageMap
+
+            coverage = CoverageMap.from_dict(data["coverage"])
         return cls(
             scenario=Scenario(
                 index=s["index"],
@@ -771,6 +803,7 @@ class ScenarioResult:
                 oracle=s.get("oracle", "stateless"),
             ),
             report=SessionReport.from_dict(data["report"]),
+            coverage=coverage,
         )
 
 
@@ -1018,6 +1051,13 @@ def assemble_report(
             for counter, moved in stats.items():
                 totals[counter] = totals.get(counter, 0) + moved
     report.meta["compile_cache"] = totals
+    coverage_meta = {
+        result.scenario.key: result.coverage.summary()
+        for result in ordered
+        if getattr(result, "coverage", None) is not None
+    }
+    if coverage_meta:
+        report.meta["coverage"] = coverage_meta
     return report
 
 
@@ -1346,3 +1386,12 @@ def replay_campaign(
     return assemble_report(
         f"replay-{payload['name']}", results, expected=len(jobs)
     )
+
+
+# Imported for its registration side effect: the ``coverage`` workload
+# installs itself into :data:`repro.sim.traffic.WORKLOADS` at import
+# time, and pool/cluster workers import THIS module — so every
+# execution path (serial, spawn-started pool, remote cluster worker)
+# sees an identical registry. Must stay at the bottom: coverage
+# resolves scenario axes through this module's TARGETS/PROVISIONERS.
+from . import coverage as _coverage  # noqa: E402,F401

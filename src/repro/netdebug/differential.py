@@ -289,6 +289,23 @@ class DifferentialCase:
     #: workload register-stateful programs need for their return path
     #: to be exercised at all.
     bidirectional: bool = False
+    #: Drive the cell with its **covering packet set**
+    #: (:func:`repro.netdebug.coverage.covering_set`) instead of a
+    #: seeded random batch: one witness per feasible path under each
+    #: target's own deviation model, so the cell's divergence findings
+    #: come with a provable all-paths-exercised claim (recorded on
+    #: :attr:`DifferentialCell.coverage`). ``count`` becomes an upper
+    #: bound, not a batch size. Mutually exclusive with
+    #: ``bidirectional``.
+    coverage: bool = False
+
+    def __post_init__(self) -> None:
+        if self.coverage and self.bidirectional:
+            raise NetDebugError(
+                f"differential case {self.name!r}: coverage witness "
+                "sets are unidirectional; drop one of "
+                "coverage/bidirectional"
+            )
 
     @property
     def name(self) -> str:
@@ -335,6 +352,11 @@ class DifferentialCell:
     #: Frames where the artifact's own deviant model failed to predict
     #: the datapath — engine bugs, never acceptable.
     model_mismatches: list[int] = dc_field(default_factory=list)
+    #: Coverage accounting when the cell ran a covering set (see
+    #: :attr:`DifferentialCase.coverage`): the map summary plus
+    #: ``unexercised`` — feasible paths the injected set failed to
+    #: exercise, which :attr:`consistent` treats as fatal.
+    coverage: dict | None = None
 
     @property
     def unexplained(self) -> list[PacketDiff]:
@@ -342,8 +364,13 @@ class DifferentialCell:
 
     @property
     def consistent(self) -> bool:
-        """Every divergence explained, every prediction honored."""
-        return not self.unexplained and not self.model_mismatches
+        """Every divergence explained, every prediction honored — and,
+        for coverage-driven cells, every feasible path exercised."""
+        return (
+            not self.unexplained
+            and not self.model_mismatches
+            and not (self.coverage or {}).get("unexercised", 0)
+        )
 
     def diffs_by_tag(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -358,7 +385,7 @@ class DifferentialCell:
         identical — the derived fields (``diffs_by_tag``,
         ``unexplained``, ``consistent``) are recomputed, not stored
         authoritatively."""
-        return {
+        payload = {
             "program": self.program,
             "target": self.target,
             "packets": self.packets,
@@ -371,6 +398,11 @@ class DifferentialCell:
             "model_mismatches": list(self.model_mismatches),
             "consistent": self.consistent,
         }
+        # Conditional emission: pre-coverage matrix baselines keep
+        # round-tripping byte-identically.
+        if self.coverage is not None:
+            payload["coverage"] = dict(self.coverage)
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "DifferentialCell":
@@ -385,6 +417,7 @@ class DifferentialCell:
                 PacketDiff.from_dict(d) for d in data.get("diffs", [])
             ],
             model_mismatches=list(data.get("model_mismatches", [])),
+            coverage=data.get("coverage"),
         )
 
 
@@ -517,22 +550,32 @@ class DifferentialRunner:
             # quantization witnesses). The base seed is mixed INTO the
             # hash (not shifted above it) so seeds stay within JSON's
             # interoperable 2^53 range.
-            batch = (
-                seeded_bidir_batch if case.bidirectional else seeded_batch
-            )
-            frames = batch(
-                default_flow(stable_hash64(case.name) % 8),
-                self.count,
-                seed=stable_hash64(
-                    f"{self.seed}:{case.name}"
-                ) % (1 << 53),
-            )
-            # Normalize to (wire, ingress_port) pairs; directionless
-            # batches keep the historical fixed ingress, port 0.
-            pairs = [
-                frame if isinstance(frame, tuple) else (frame, 0)
-                for frame in frames
-            ]
+            case_seed = stable_hash64(
+                f"{self.seed}:{case.name}"
+            ) % (1 << 53)
+            if case.coverage:
+                # Covering sets depend on each target's deviation
+                # model AND provisioned entries — built per cell,
+                # inside the target loop.
+                pairs = None
+            else:
+                batch = (
+                    seeded_bidir_batch
+                    if case.bidirectional
+                    else seeded_batch
+                )
+                frames = batch(
+                    default_flow(stable_hash64(case.name) % 8),
+                    self.count,
+                    seed=case_seed,
+                )
+                # Normalize to (wire, ingress_port) pairs;
+                # directionless batches keep the historical fixed
+                # ingress, port 0.
+                pairs = [
+                    frame if isinstance(frame, tuple) else (frame, 0)
+                    for frame in frames
+                ]
             for target in self.targets:
                 device = TARGETS[target](f"diff-{target}-{case.name}")
                 cell = DifferentialCell(
@@ -555,8 +598,48 @@ class DifferentialRunner:
                 if case.provision is not None:
                     case.provision(device)
                 cell.deviation_tags = tuple(compiled.silent_deviations)
-                self._run_cell(cell, device, compiled, pairs)
+                cell_pairs = pairs
+                if case.coverage:
+                    cell_pairs = self._coverage_pairs(
+                        cell, compiled, case_seed, target
+                    )
+                self._run_cell(cell, device, compiled, cell_pairs)
         return report
+
+    def _coverage_pairs(
+        self,
+        cell: DifferentialCell,
+        compiled: CompiledProgram,
+        seed: int,
+        target: str,
+    ) -> list[tuple[bytes, int]]:
+        """One cell's covering set: witnesses under the target's own
+        deviation model and provisioned tables, with the coverage
+        accounting (including the re-replayed ``unexercised`` check)
+        recorded on the cell. ``count`` caps the set: exceeding it is
+        a loud error, never a silent truncation of the claim."""
+        from .coverage import covering_set, verify_coverage
+        from ..baselines.paths import DeviationModel
+
+        model = DeviationModel.from_compiled(compiled)
+        packets, cmap = covering_set(
+            compiled.program, model, seed=seed, target=target
+        )
+        if len(packets) > self.count:
+            raise NetDebugError(
+                f"differential cell {cell.program}/{cell.target}: "
+                f"covering set needs {len(packets)} packets but the "
+                f"runner's count is {self.count}; raise count instead "
+                "of weakening the all-paths-exercised claim"
+            )
+        wires = [packet.pack() for packet in packets]
+        cell.coverage = {
+            **cmap.summary(),
+            "unexercised": len(
+                verify_coverage(compiled.program, model, wires, cmap)
+            ),
+        }
+        return [(wire, 0) for wire in wires]
 
     def _run_cell(
         self,

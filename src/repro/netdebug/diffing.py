@@ -69,11 +69,14 @@ __all__ = [
     "BASELINE_SEED",
     "BASELINE_CAMPAIGN_COUNT",
     "BASELINE_DIFFERENTIAL_COUNT",
+    "BASELINE_COVERAGE_COUNT",
     "baseline_matrix",
     "baseline_stateful_matrix",
+    "baseline_coverage_matrix",
     "baseline_cases",
     "run_baseline_campaign",
     "run_baseline_stateful",
+    "run_baseline_coverage",
     "run_baseline_differential",
     "write_baselines",
     "ScenarioDelta",
@@ -93,6 +96,10 @@ BASELINE_SEED = 2018
 BASELINE_CAMPAIGN_COUNT = 10
 #: Packets per differential cell in the committed baseline.
 BASELINE_DIFFERENTIAL_COUNT = 16
+#: Upper bound on covering-set size per coverage scenario — an upper
+#: bound, not a batch size: the covering set is exactly as large as the
+#: program's feasible-path count under each target's deviation model.
+BASELINE_COVERAGE_COUNT = 64
 
 
 # ---------------------------------------------------------------------------
@@ -146,6 +153,32 @@ def baseline_stateful_matrix(
     )
 
 
+def baseline_coverage_matrix(
+    count: int = BASELINE_COVERAGE_COUNT, seed: int = BASELINE_SEED
+) -> ScenarioMatrix:
+    """The committed *coverage* campaign baseline.
+
+    The same program × target sweep as :func:`baseline_matrix`, driven
+    by the ``coverage`` workload: one witness packet per feasible path
+    under each target's own deviation model, with the per-scenario
+    :class:`~repro.netdebug.coverage.CoverageMap` serialized into the
+    golden file. Its entries pin three things at once — the enumerated
+    path sets (tofino's quantized-TCAM pruning included), the exact
+    witness bytes per seed, and the all-paths-exercised claim that
+    :func:`run_baseline_coverage` re-verifies before the file is
+    written.
+    """
+    return ScenarioMatrix(
+        programs=["strict_parser", "acl_firewall"],
+        targets=["reference", "sdnet", "tofino"],
+        faults={"baseline": ()},
+        workloads=["coverage"],
+        count=count,
+        seed=seed,
+        setup="acl_gate",
+    )
+
+
 def baseline_cases() -> list[DifferentialCase]:
     """The committed differential baseline: one witness per deviation
     mechanism, the all-targets-agree control, and the register-stateful
@@ -185,6 +218,39 @@ def run_baseline_stateful(
     )
 
 
+def run_baseline_coverage(
+    workers: int = 1,
+    count: int = BASELINE_COVERAGE_COUNT,
+    seed: int = BASELINE_SEED,
+) -> CampaignReport:
+    """Execute the coverage baseline matrix and verify its claim.
+
+    Every scenario's covering set is re-replayed against the target's
+    deviation model before the report is returned
+    (:func:`~repro.netdebug.coverage.verify_report_coverage`); an
+    unexercised feasible path raises instead of writing a golden file
+    that pins a broken guarantee.
+    """
+    from .coverage import verify_report_coverage
+
+    report = run_campaign(
+        baseline_coverage_matrix(count=count, seed=seed),
+        workers=workers,
+        name="baseline-coverage",
+    )
+    unexercised = verify_report_coverage(report)
+    if unexercised:
+        listing = "; ".join(
+            f"{key}: {', '.join(signatures)}"
+            for key, signatures in sorted(unexercised.items())
+        )
+        raise NetDebugError(
+            "coverage baseline failed its own all-paths-exercised "
+            f"claim — unexercised feasible paths: {listing}"
+        )
+    return report
+
+
 def run_baseline_differential(
     count: int = BASELINE_DIFFERENTIAL_COUNT, seed: int = BASELINE_SEED
 ) -> DifferentialReport:
@@ -199,6 +265,7 @@ def write_baselines(
     workers: int = 1,
     campaign_count: int = BASELINE_CAMPAIGN_COUNT,
     differential_count: int = BASELINE_DIFFERENTIAL_COUNT,
+    coverage_count: int = BASELINE_COVERAGE_COUNT,
     seed: int = BASELINE_SEED,
 ) -> dict[str, Path]:
     """Run both seeded baselines and write their JSONs into ``directory``.
@@ -215,12 +282,16 @@ def write_baselines(
     stateful = run_baseline_stateful(
         workers=workers, count=campaign_count, seed=seed
     )
+    coverage = run_baseline_coverage(
+        workers=workers, count=coverage_count, seed=seed
+    )
     differential = run_baseline_differential(
         count=differential_count, seed=seed
     )
     return {
         "campaign": campaign.save(directory / "campaign.json"),
         "stateful": stateful.save(directory / "stateful.json"),
+        "coverage": coverage.save(directory / "coverage.json"),
         "differential": differential.save(directory / "differential.json"),
     }
 

@@ -299,6 +299,25 @@ def run_session(
     if not session.streams:
         raise NetDebugError(f"session {session.name!r} has no streams")
 
+    # Directional workloads carry per-packet ingress ports chosen by
+    # traffic generators that do not know the device (int_probe spreads
+    # over four ports, tcp_bidir assumes ports {0, 1}); a port beyond
+    # the compiled device's count must fail HERE, before any packet of
+    # any stream is injected, naming the offending index — not mid-run
+    # as a target error after earlier packets already mutated state.
+    port_count = len(device.ports)
+    for stream in session.streams:
+        if stream.ingress_ports is None:
+            continue
+        for index, port in enumerate(stream.ingress_ports):
+            if not 0 <= port < port_count:
+                raise NetDebugError(
+                    f"session {session.name!r}: stream "
+                    f"{stream.stream_id} ingress_ports[{index}] is "
+                    f"{port}, but device {device.name!r} has only "
+                    f"{port_count} ports (valid: 0..{port_count - 1})"
+                )
+
     if _block_eligible(device, session):
         return _run_session_block(device, session)
 

@@ -7,6 +7,7 @@ adversarial mixes containing malformed packets (the reject-state workload).
 
 from __future__ import annotations
 
+import inspect
 import math
 import random
 from dataclasses import dataclass
@@ -33,6 +34,7 @@ __all__ = [
     "bidirectional_flows",
     "pad_to_size",
     "WorkloadBundle",
+    "WorkloadContext",
     "WORKLOADS",
     "build_workload",
 ]
@@ -500,17 +502,41 @@ def default_flow(index: int = 0) -> FlowSpec:
 # process alongside the packets.
 
 @dataclass(frozen=True)
+class WorkloadContext:
+    """What a *program-aware* workload knows about the cell it feeds.
+
+    Seeded-random workloads are pure functions of ``(flow, count,
+    seed, rate_pps)``; the ``coverage`` workload additionally derives
+    its packets from the program under test and the target's deviation
+    model. Campaign shards pass the scenario axes here — plus, when
+    available, the shard's already-provisioned compiled artifact so
+    the workload judges feasibility against exactly the table state
+    the device runs (``compiled`` is never serialized; it is an
+    in-process shortcut only).
+    """
+
+    program: str
+    target: str
+    setup: str = ""
+    compiled: object | None = None
+
+
+@dataclass(frozen=True)
 class WorkloadBundle:
     """One materialized workload: packets, plus arrival times when the
     workload defines its own arrival process (ns, monotonically
     increasing; ``None`` means back-to-back / constant-rate), plus
     per-packet ingress ports when the workload is directional
-    (``None`` means the historical fixed ingress, port 0)."""
+    (``None`` means the historical fixed ingress, port 0). Path-guided
+    workloads also attach their ``coverage`` map (a
+    :class:`repro.netdebug.coverage.CoverageMap`) recording which
+    feasible path each packet witnesses."""
 
     name: str
     packets: tuple[Packet, ...]
     times_ns: tuple[float, ...] | None = None
     ingress_ports: tuple[int, ...] | None = None
+    coverage: object | None = None
 
 
 def _udp_workload(
@@ -616,18 +642,42 @@ WORKLOADS: dict[
 }
 
 
+def _accepts_context(factory: Callable) -> bool:
+    """Whether a workload factory takes the optional ``context``."""
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+    return "context" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in parameters.values()
+    )
+
+
 def build_workload(
     name: str,
     flow: FlowSpec,
     count: int,
     seed: int = 0,
     rate_pps: float = 1e6,
+    context: WorkloadContext | None = None,
 ) -> WorkloadBundle:
     """Materialize the named workload deterministically.
 
-    Raises :class:`SimulationError` for unknown workload names; the
-    message lists what the registry does offer.
+    Raises :class:`SimulationError` for unknown workload names (the
+    message lists what the registry does offer), negative counts, and
+    non-positive or non-finite rates. Count and rate are validated
+    *before* dispatch, so every workload rejects bad arguments
+    identically — historically ``malformed``/``tcp_bidir`` silently
+    ignored a bogus rate their timed siblings refused.
+
+    ``context`` reaches only factories that declare it (the
+    program-aware ``coverage`` workload); the classic seeded-random
+    factories keep their 4-argument signature.
     """
+    if count < 0:
+        raise SimulationError(f"workload {name!r}: count must be >= 0")
+    _check_rate(rate_pps, f"workload {name!r}")
     try:
         factory = WORKLOADS[name]
     except KeyError:
@@ -635,6 +685,6 @@ def build_workload(
         raise SimulationError(
             f"unknown workload {name!r}; registry offers: {known}"
         ) from None
-    if count < 0:
-        raise SimulationError(f"workload {name!r}: count must be >= 0")
+    if _accepts_context(factory):
+        return factory(flow, count, seed, rate_pps, context=context)
     return factory(flow, count, seed, rate_pps)

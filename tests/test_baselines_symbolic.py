@@ -130,6 +130,95 @@ class TestPick:
         assert refined.may_equal(b) == (a == b)
 
 
+def _apply_refinements(vs, ops):
+    """Fold (op, value) pairs into ``vs``; Infeasible propagates."""
+    for op, value in ops:
+        vs = vs.refine_ne(value) if op == "ne" else vs.refine_eq(value)
+    return vs
+
+
+_REFINEMENT_OPS = st.lists(
+    st.tuples(st.sampled_from(["ne", "eq"]),
+              st.integers(min_value=0, max_value=255)),
+    max_size=12,
+)
+
+
+class TestValueSetLattice:
+    """Lattice laws every refinement sequence must respect: refining
+    only ever shrinks the set, order of independent exclusions doesn't
+    matter, and Infeasible fires exactly when the set would empty."""
+
+    @given(_REFINEMENT_OPS, st.integers(min_value=0, max_value=255))
+    def test_refinement_monotone(self, ops, probe):
+        """may_equal can flip feasible->infeasible, never back."""
+        vs = ValueSet.any_(8)
+        allowed = vs.may_equal(probe)
+        for op, value in ops:
+            try:
+                vs = _apply_refinements(vs, [(op, value)])
+            except Infeasible:
+                return
+            now_allowed = vs.may_equal(probe)
+            assert not (now_allowed and not allowed)
+            allowed = now_allowed
+
+    @given(st.sets(st.integers(min_value=0, max_value=255), max_size=30))
+    def test_ne_order_independent(self, excluded):
+        """Exclusions commute: any order yields the same member set."""
+        orders = [sorted(excluded), sorted(excluded, reverse=True)]
+        results = []
+        for order in orders:
+            vs = ValueSet.any_(8)
+            for value in order:
+                vs = vs.refine_ne(value)
+            results.append(
+                frozenset(v for v in range(256) if vs.may_equal(v))
+            )
+        assert results[0] == results[1]
+        assert results[0] == frozenset(range(256)) - excluded
+
+    @given(_REFINEMENT_OPS)
+    def test_pick_is_always_a_member(self, ops):
+        """Whatever survived the refinements, pick() is inside it."""
+        try:
+            vs = _apply_refinements(ValueSet.any_(8), ops)
+        except Infeasible:
+            return
+        assert vs.may_equal(vs.pick())
+
+    @given(st.integers(min_value=1, max_value=9))
+    def test_infeasible_iff_domain_empties(self, width):
+        """Excluding every domain value raises exactly at the last one."""
+        vs = ValueSet.any_(width)
+        domain = 1 << width
+        for value in range(domain - 1):
+            vs = vs.refine_ne(value)
+        assert vs.may_equal(domain - 1)
+        with pytest.raises(Infeasible):
+            vs.refine_ne(domain - 1)
+
+    @given(st.sets(st.integers(min_value=0, max_value=255),
+                   min_size=128, max_size=255))
+    def test_small_domain_switches_to_in(self, excluded):
+        """Once exclusions cover half a narrow domain the set flips to
+        the exact IN complement — and stays semantically identical."""
+        vs = ValueSet.any_(8)
+        for value in sorted(excluded):
+            vs = vs.refine_ne(value)
+        assert vs.kind == "in"
+        assert vs.values == frozenset(range(256)) - excluded
+
+    def test_wide_field_keeps_notin_and_first_gap_pick(self):
+        """A 32-bit field excluding a dense prefix answers immediately
+        from gap arithmetic instead of materializing the complement."""
+        vs = ValueSet.any_(32)
+        for value in range(64):
+            vs = vs.refine_ne(value)
+        assert vs.kind == "notin"
+        assert vs.pick() == 64
+
+
 class TestSymbolicState:
     def test_get_creates_any(self):
         state = SymbolicState()

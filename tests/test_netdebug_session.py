@@ -118,6 +118,61 @@ class TestRunSession:
         with pytest.raises(NetDebugError):
             run_session(device, ValidationSession(name="empty"))
 
+    def test_out_of_range_ingress_port_rejected_at_setup(self):
+        """A bad port fails before any packet is injected, naming the
+        stream, the offending index and the device's valid range."""
+        device = routed_device(make_sdnet_device)  # 4 ports
+        session = ValidationSession(
+            name="badport",
+            streams=[
+                StreamSpec(
+                    stream_id=7,
+                    packets=routed_packets(3),
+                    ingress_ports=[0, 9, 1],
+                )
+            ],
+            use_reference_oracle=True,
+        )
+        with pytest.raises(
+            NetDebugError,
+            match=r"stream 7 ingress_ports\[1\] is 9.*0\.\.3",
+        ):
+            run_session(device, session)
+
+    def test_negative_ingress_port_rejected_at_setup(self):
+        device = routed_device()
+        session = ValidationSession(
+            name="negport",
+            streams=[
+                StreamSpec(
+                    stream_id=1,
+                    packets=routed_packets(2),
+                    ingress_ports=[-1, 0],
+                )
+            ],
+            use_reference_oracle=True,
+        )
+        with pytest.raises(
+            NetDebugError, match=r"ingress_ports\[0\] is -1"
+        ):
+            run_session(device, session)
+
+    def test_valid_ingress_ports_still_run(self):
+        device = routed_device()
+        session = ValidationSession(
+            name="goodports",
+            streams=[
+                StreamSpec(
+                    stream_id=1,
+                    packets=routed_packets(3),
+                    ingress_ports=[0, 1, 2],
+                )
+            ],
+            use_reference_oracle=True,
+        )
+        report = run_session(device, session)
+        assert report.injected == 3
+
     def test_oracle_session_passes_on_faithful_device(self):
         device = routed_device()
         session = ValidationSession(

@@ -168,13 +168,18 @@ class TestRateGuards:
 
 class TestWorkloadRegistry:
     def test_known_workloads_materialize(self):
+        import repro.netdebug.coverage  # noqa: F401  (registers "coverage")
         from repro.sim.traffic import WORKLOADS, build_workload
 
         assert set(WORKLOADS) == {
             "udp", "imix", "poisson", "burst", "onoff", "malformed",
-            "tcp_bidir", "int_probe",
+            "tcp_bidir", "int_probe", "coverage",
         }
         for name in WORKLOADS:
+            if name == "coverage":
+                # Needs a compiled-program context; exercised in
+                # tests/test_coverage.py instead.
+                continue
             bundle = build_workload(name, default_flow(), 6, seed=2)
             assert bundle.name == name
             assert len(bundle.packets) == 6
