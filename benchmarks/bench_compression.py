@@ -1,0 +1,55 @@
+"""EXP-COMPRESS — scenario-matrix compression pass on the seeded matrix.
+
+Compression is the pay-once pass that lets CI run representatives
+instead of the full 54-cell matrix: expand the scenario grid, probe
+each cell's observable behaviour under its target's deviation model,
+bucket cells whose signatures collide. This benchmark times that full
+expand→probe→bucket pass plus the artifact round-trip (the bytes CI
+pins with ``cmp``), and verifies the compression the gate relies on:
+the seeded matrix prunes at least 40% of cells, every pruned cell
+names its representative, and the canonical JSON re-loads losslessly.
+"""
+
+from conftest import emit
+
+from repro.netdebug.compression import (
+    CompressedMatrix,
+    baseline_compression_matrix,
+    compress_matrix,
+)
+
+
+def test_compression_pass(benchmark):
+    """One full map build: expand the seeded matrix, signature every
+    cell, bucket, serialize, re-load — the per-PR cost of keeping the
+    equivalence map honest."""
+
+    def build():
+        compressed = compress_matrix(baseline_compression_matrix())
+        return compressed, CompressedMatrix.from_json(compressed.to_json())
+
+    compressed, clone = benchmark(build)
+
+    assert compressed.expanded_cells == 54
+    assert compressed.ratio <= 0.6
+    assert clone.to_json() == compressed.to_json()
+    pruned = compressed.pruned_keys
+    rep_for = compressed.representative_for
+    assert sorted(rep_for) == sorted(pruned)
+    assert len(compressed.entries) + len(pruned) == compressed.expanded_cells
+
+    emit(
+        "EXP-COMPRESS — matrix compression pass",
+        [
+            f"{'cells':>6} {'reps':>6} {'pruned':>7} "
+            f"{'pinned':>7} {'ratio':>6}",
+            f"{compressed.expanded_cells:>6} "
+            f"{len(compressed.entries):>6} {len(pruned):>7} "
+            f"{len(compressed.pins):>7} {compressed.ratio:>6.3f}",
+        ],
+    )
+    benchmark.extra_info["expanded_cells"] = compressed.expanded_cells
+    benchmark.extra_info["representatives"] = len(compressed.entries)
+    benchmark.extra_info["pruned"] = len(pruned)
+    benchmark.extra_info["pinned"] = len(compressed.pins)
+    benchmark.extra_info["ratio"] = compressed.ratio

@@ -726,6 +726,12 @@ class ScenarioResult:
     #: Serialized (conditionally), so ``baselines/coverage.json`` pins
     #: witness bytes, signatures and prune reasons.
     coverage: object | None = None
+    #: Provenance marker for compressed runs: the representative
+    #: scenario key this result was synthesized from, or None when the
+    #: cell was genuinely executed (see
+    #: :mod:`repro.netdebug.compression`). Serialized conditionally,
+    #: so uncompressed reports keep their pre-compression bytes.
+    represented_by: str | None = None
 
     @property
     def passed(self) -> bool:
@@ -778,6 +784,8 @@ class ScenarioResult:
         # baselines must keep round-tripping byte-identically.
         if self.coverage is not None:
             payload["coverage"] = self.coverage.to_dict()
+        if self.represented_by is not None:
+            payload["represented_by"] = self.represented_by
         return payload
 
     @classmethod
@@ -804,6 +812,7 @@ class ScenarioResult:
             ),
             report=SessionReport.from_dict(data["report"]),
             coverage=coverage,
+            represented_by=data.get("represented_by"),
         )
 
 
@@ -1122,6 +1131,7 @@ def run_campaign(
     | None = None,
     engine: str = "closure",
     oracle_factory: OracleFactory | None = None,
+    compress: bool | object = False,
 ) -> CampaignReport:
     """Expand ``matrix`` and execute every scenario shard.
 
@@ -1152,10 +1162,46 @@ def run_campaign(
     per *scenario cell*, each cell's packets staying on one shard in
     arrival order, which is exactly the state boundary stateful oracles
     need.
+
+    ``compress=True`` buckets the expanded matrix by static behaviour
+    signature (:func:`repro.netdebug.compression.compress_matrix`),
+    executes only bucket representatives, and re-expands the report:
+    pruned cells carry their representative's result with the identity
+    rewritten and ``represented_by`` set. Passing a precomputed
+    :class:`~repro.netdebug.compression.CompressedMatrix` skips the
+    signature pass (it must have been built from this exact matrix).
+    The default ``compress=False`` is byte-identical to the
+    pre-compression engine. ``on_result`` streams *executed* shards
+    only — progress totals count representatives, not synthesized
+    cells.
     """
     _require_known_engine(engine)
     scenarios = matrix.expand()
     record = record_dir is not None
+    compressed = None
+    if compress:
+        # Deferred: compression imports this module's matrix types.
+        from .compression import CompressedMatrix, compress_matrix
+
+        if record:
+            raise NetDebugError(
+                "record_dir and compress are mutually exclusive: "
+                "regression artifacts must capture every cell, not "
+                "representatives"
+            )
+        if isinstance(compress, CompressedMatrix):
+            compressed = compress
+            compressed.ensure_matches(matrix)
+        else:
+            compressed = compress_matrix(matrix)
+        representatives = set(compressed.representative_keys)
+        run_scenarios = [
+            scenario
+            for scenario in scenarios
+            if scenario.key in representatives
+        ]
+    else:
+        run_scenarios = scenarios
     if record:
         for label, fault_set in matrix.faults.items():
             for fault in fault_set:
@@ -1171,13 +1217,23 @@ def run_campaign(
             epoch, scenario, matrix.faults[scenario.fault], record,
             engine, oracle_factory,
         )
-        for scenario in scenarios
+        for scenario in run_scenarios
     ]
     results = _execute(
         jobs, _run_shard, workers, executor,
         _streaming_ingest(on_result, len(jobs)),
     )
-    report = assemble_report(name, results, expected=len(jobs))
+    if compressed is not None:
+        from .compression import expand_results
+
+        results = expand_results(compressed, scenarios, results)
+    report = assemble_report(name, results, expected=len(scenarios))
+    if compressed is not None:
+        report.meta["compression"] = {
+            "expanded": compressed.expanded_cells,
+            "representatives": len(compressed.entries),
+            "ratio": compressed.ratio,
+        }
 
     if record:
         directory = Path(record_dir)

@@ -719,6 +719,7 @@ def run_cluster_campaign(
     timeout: float | None = None,
     engine: str = "closure",
     oracle_factory=None,
+    compress: bool | object = False,
 ) -> CampaignReport:
     """Run ``matrix`` on a localhost coordinator + ``workers`` worker
     processes over the real socket transport — the one-call launcher
@@ -726,7 +727,9 @@ def run_cluster_campaign(
     on the same matrix (and across engines). ``oracle_factory`` rides
     the pickled job frames to remote workers, so it must resolve by
     reference there — a module-level class or function (the named
-    ``ORACLES`` entries qualify)."""
+    ``ORACLES`` entries qualify). ``compress`` behaves exactly as in
+    :func:`run_campaign`: only bucket representatives are fanned out to
+    the worker fleet; the report is re-expanded on the coordinator."""
     executor = ClusterExecutor(
         local_workers=workers,
         slots=slots,
@@ -741,6 +744,7 @@ def run_cluster_campaign(
         on_result=on_result,
         engine=engine,
         oracle_factory=oracle_factory,
+        compress=compress,
     )
 
 
@@ -840,6 +844,13 @@ def _add_matrix_args(parser: argparse.ArgumentParser) -> None:
                              "threads register state across each "
                              "cell's packet sequence")
     parser.add_argument("--name", default="campaign")
+    parser.add_argument(
+        "--compress", action="store_true",
+        help="bucket the matrix by behaviour signature and execute "
+             "only representatives (repro.netdebug.compression); the "
+             "report is re-expanded with pruned cells marked "
+             "represented_by",
+    )
     parser.add_argument("--out", default="",
                         help="write the campaign report JSON here")
     parser.add_argument("--quiet", action="store_true",
@@ -923,6 +934,7 @@ def main(argv: list[str] | None = None) -> int:
                 executor=executor,
                 on_result=None if args.quiet else ProgressPrinter(),
                 engine=args.engine,
+                compress=args.compress,
             )
             return _finish_campaign(report, args)
         # local
@@ -936,6 +948,7 @@ def main(argv: list[str] | None = None) -> int:
             timeout=args.timeout,
             on_result=None if args.quiet else ProgressPrinter(),
             engine=args.engine,
+            compress=args.compress,
         )
         return _finish_campaign(report, args)
     except ClusterError as exc:

@@ -39,7 +39,8 @@ CLI::
     python -m repro.netdebug.diffing old.json new.json \
         [--differential OLD_MATRIX NEW_MATRIX] \
         [--format text|json|markdown] [--out report.md]
-    python -m repro.netdebug.diffing --write-baseline [--dir baselines]
+    python -m repro.netdebug.diffing --write-baseline \
+        [--dir baselines] [--only campaign] [--only compression] ...
 
 Exit codes: 0 = no regression, 1 = regression, 2 = usage/load error.
 """
@@ -78,7 +79,10 @@ __all__ = [
     "run_baseline_stateful",
     "run_baseline_coverage",
     "run_baseline_differential",
+    "run_baseline_compression",
+    "BASELINE_KINDS",
     "write_baselines",
+    "verify_equivalence",
     "ScenarioDelta",
     "CellDelta",
     "MatrixDiff",
@@ -260,6 +264,25 @@ def run_baseline_differential(
     ).run()
 
 
+def run_baseline_compression():
+    """The seeded compression artifact ``baselines/compression.json`` pins.
+
+    Buckets :func:`repro.netdebug.compression.baseline_compression_matrix`
+    (a superset of :func:`baseline_matrix` — same seed/count/setup, plus
+    ghost-fault labels and the imix workload) without executing any cell.
+    """
+    # Deferred: compression imports this module's baseline constants.
+    from .compression import baseline_compression_matrix, compress_matrix
+
+    return compress_matrix(baseline_compression_matrix())
+
+
+#: Golden baselines ``write_baselines`` can (re)generate, in write order.
+BASELINE_KINDS = (
+    "campaign", "stateful", "coverage", "differential", "compression",
+)
+
+
 def write_baselines(
     directory: str | Path = "baselines",
     workers: int = 1,
@@ -267,33 +290,55 @@ def write_baselines(
     differential_count: int = BASELINE_DIFFERENTIAL_COUNT,
     coverage_count: int = BASELINE_COVERAGE_COUNT,
     seed: int = BASELINE_SEED,
+    only: list[str] | None = None,
 ) -> dict[str, Path]:
-    """Run both seeded baselines and write their JSONs into ``directory``.
+    """Run the seeded baselines and write their JSONs into ``directory``.
 
     Used both to regenerate the committed golden files after an
     *intentional* behaviour change and, pointed at a scratch directory,
     to produce the fresh-build reports the CI gate diffs against them.
+    ``only`` restricts generation to a subset of :data:`BASELINE_KINDS`
+    so a CI job can rebuild just the baseline it gates on instead of
+    paying for all five serially.
     """
+    kinds = list(BASELINE_KINDS) if only is None else list(only)
+    for kind in kinds:
+        if kind not in BASELINE_KINDS:
+            raise NetDebugError(
+                f"unknown baseline kind {kind!r}; "
+                f"choose from {', '.join(BASELINE_KINDS)}"
+            )
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    campaign = run_baseline_campaign(
-        workers=workers, count=campaign_count, seed=seed
-    )
-    stateful = run_baseline_stateful(
-        workers=workers, count=campaign_count, seed=seed
-    )
-    coverage = run_baseline_coverage(
-        workers=workers, count=coverage_count, seed=seed
-    )
-    differential = run_baseline_differential(
-        count=differential_count, seed=seed
-    )
-    return {
-        "campaign": campaign.save(directory / "campaign.json"),
-        "stateful": stateful.save(directory / "stateful.json"),
-        "coverage": coverage.save(directory / "coverage.json"),
-        "differential": differential.save(directory / "differential.json"),
-    }
+    paths: dict[str, Path] = {}
+    if "campaign" in kinds:
+        campaign = run_baseline_campaign(
+            workers=workers, count=campaign_count, seed=seed
+        )
+        paths["campaign"] = campaign.save(directory / "campaign.json")
+    if "stateful" in kinds:
+        stateful = run_baseline_stateful(
+            workers=workers, count=campaign_count, seed=seed
+        )
+        paths["stateful"] = stateful.save(directory / "stateful.json")
+    if "coverage" in kinds:
+        coverage = run_baseline_coverage(
+            workers=workers, count=coverage_count, seed=seed
+        )
+        paths["coverage"] = coverage.save(directory / "coverage.json")
+    if "differential" in kinds:
+        differential = run_baseline_differential(
+            count=differential_count, seed=seed
+        )
+        paths["differential"] = differential.save(
+            directory / "differential.json"
+        )
+    if "compression" in kinds:
+        compression = run_baseline_compression()
+        paths["compression"] = compression.save(
+            directory / "compression.json"
+        )
+    return paths
 
 
 # ---------------------------------------------------------------------------
@@ -313,6 +358,12 @@ class ScenarioDelta:
     #: Deviation tags whose declaration changed on this scenario's
     #: (program × target) cell — the only acceptable excuse for a flip.
     explained_by: tuple[str, ...] = ()
+    #: When the *new* report is a re-expanded compressed run and this
+    #: scenario was pruned: the representative whose result it carries.
+    #: A delta here means the representative's behaviour changed (or
+    #: the bucketing is wrong) — the cell to debug is the
+    #: representative, so every rendering names it.
+    represented_by: str | None = None
 
     @property
     def flipped(self) -> bool:
@@ -327,7 +378,7 @@ class ScenarioDelta:
         return bool(self.explained_by)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "key": self.key,
             "old_verdict": self.old_verdict,
             "new_verdict": self.new_verdict,
@@ -338,6 +389,11 @@ class ScenarioDelta:
             "explained_by": list(self.explained_by),
             "explained": self.explained,
         }
+        # Conditional: diffs of uncompressed reports keep their
+        # pre-compression bytes.
+        if self.represented_by is not None:
+            payload["represented_by"] = self.represented_by
+        return payload
 
 
 @dataclass
@@ -487,6 +543,15 @@ def _scenario_churn_bits(delta: "ScenarioDelta") -> list[str]:
     return bits
 
 
+def _scenario_provenance(delta: "ScenarioDelta") -> str:
+    """Where to debug a delta on a synthesized cell — shared by text
+    and markdown rendering: a flip in a pruned cell is really a flip
+    in (or a bad bucketing with) its representative."""
+    if delta.represented_by is None:
+        return ""
+    return f"pruned cell represented by {delta.represented_by}"
+
+
 def _cell_change_bits(cell: "CellDelta") -> list[str]:
     """Every per-cell change cause except the tag declarations and the
     unexplained delta (rendered separately per format) — shared by text
@@ -613,6 +678,8 @@ class CampaignDiff:
                 lines.append(f"  {label} scenarios: {', '.join(keys)}")
         for delta in self.deltas:
             churn = ", ".join(_scenario_churn_bits(delta))
+            provenance = _scenario_provenance(delta)
+            suffix = f"  [{provenance}]" if provenance else ""
             if delta.flipped:
                 excuse = (
                     f"explained by declared tag change: "
@@ -622,10 +689,12 @@ class CampaignDiff:
                 lines.append(
                     f"  flip [{delta.direction}] {delta.key}"
                     f"{'  churn: ' + churn if churn else ''}  {excuse}"
+                    f"{suffix}"
                 )
             else:
                 lines.append(
                     f"  churn [{delta.old_verdict}] {delta.key}  {churn}"
+                    f"{suffix}"
                 )
         if self.kind_churn:
             listing = ", ".join(
@@ -702,6 +771,11 @@ class CampaignDiff:
                     excuse = "tag change: " + ", ".join(delta.explained_by)
                 else:
                     excuse = "**UNEXPLAINED**"
+                if delta.represented_by is not None:
+                    excuse += (
+                        " · pruned cell represented by "
+                        f"`{delta.represented_by}`"
+                    )
                 lines.append(
                     f"| `{delta.key}` | {delta.old_verdict} | "
                     f"{delta.new_verdict} | {churn} | {excuse} |"
@@ -964,6 +1038,13 @@ def diff_campaigns(
                     changed_tags.get(cell, ())
                     if before.verdict != after.verdict else ()
                 ),
+                # Either side being synthesized names the same
+                # representative; prefer the new report's marker (the
+                # build under test).
+                represented_by=(
+                    getattr(after, "represented_by", None)
+                    or getattr(before, "represented_by", None)
+                ),
             )
         )
 
@@ -1012,6 +1093,51 @@ def inject_unexplained_flip(
         {"kind": kind, "message": message, "stage": "", "stream_id": None}
     )
     return payload
+
+
+def verify_equivalence(
+    compressed,
+    report: CampaignReport,
+    keys: list[str] | None = None,
+    engine: str = "closure",
+) -> list[str]:
+    """Machine-check the compression claim on ``keys`` pruned cells.
+
+    For each pruned cell: genuinely re-run its configuration (program,
+    target, fault set, oracle) on its representative's identity-derived
+    traffic (:func:`repro.netdebug.compression.run_pruned_cell`) and
+    byte-diff the resulting :class:`ScenarioResult` against the
+    representative's stored result in ``report``, modulo cell identity
+    (and modulo timing for cross-target buckets — targets model
+    different per-stage cycle costs). ``keys=None`` audits every pruned
+    cell. Returns failure descriptions; an empty list is a pass.
+    """
+    from .compression import audit_cell
+
+    rep_for = compressed.representative_for
+    if keys is None:
+        keys = list(compressed.pruned_keys)
+    by_key = {result.scenario.key: result for result in report.results}
+    failures = []
+    for key in keys:
+        rep_key = rep_for.get(key)
+        if rep_key is None:
+            failures.append(
+                f"{key}: not a pruned cell of compressed matrix "
+                f"{compressed.name!r}"
+            )
+            continue
+        rep_result = by_key.get(rep_key)
+        if rep_result is None:
+            failures.append(
+                f"{key}: representative {rep_key} has no result in "
+                f"report {report.name!r}"
+            )
+            continue
+        failure = audit_cell(compressed, rep_result, key, engine=engine)
+        if failure is not None:
+            failures.append(failure)
+    return failures
 
 
 def matrix_only_diff(
@@ -1093,6 +1219,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="campaign worker processes "
                              "(--write-baseline only; default 1)")
+    parser.add_argument(
+        "--only", action="append", choices=BASELINE_KINDS, default=None,
+        metavar="KIND",
+        help="regenerate only this baseline (repeatable; "
+             f"choices: {', '.join(BASELINE_KINDS)}; "
+             "--write-baseline only; default all)",
+    )
     args = parser.parse_args(argv)
 
     if args.write_baseline:
@@ -1120,6 +1253,7 @@ def main(argv: list[str] | None = None) -> int:
             paths = write_baselines(
                 args.dir if args.dir is not None else "baselines",
                 workers=args.workers if args.workers is not None else 1,
+                only=args.only,
             )
         except (OSError, NetDebugError) as exc:
             # An unwritable --dir is a usage error (exit 2), never a
@@ -1130,12 +1264,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {label} baseline: {path}")
         return 0
 
-    if args.dir is not None or args.workers is not None:
-        # The symmetric guard: --dir/--workers only mean something when
-        # regenerating; silently ignoring them would mask a forgotten
-        # --write-baseline.
+    if args.dir is not None or args.workers is not None \
+            or args.only is not None:
+        # The symmetric guard: --dir/--workers/--only only mean
+        # something when regenerating; silently ignoring them would
+        # mask a forgotten --write-baseline.
         print(
-            "error: --dir/--workers only apply with --write-baseline",
+            "error: --dir/--workers/--only only apply with "
+            "--write-baseline",
             file=sys.stderr,
         )
         return 2

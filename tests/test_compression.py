@@ -1,0 +1,349 @@
+"""Scenario-matrix compression: bucketing, re-expansion, the machine check.
+
+The contract under test:
+
+* compression is deterministic and the committed
+  ``baselines/compression.json`` golden regenerates byte-identically;
+* on the seeded baseline matrix the ratio is ≤ 0.6 and the re-expanded
+  compressed report diffs clean against ``baselines/campaign.json``;
+* the equivalence claim is machine-checked for EVERY pruned cell
+  (``verify_equivalence`` full audit) and tampering a representative's
+  stored result makes the audit fail;
+* ``compress=False`` stays byte-identical to the pre-compression
+  engine, and the artifact round-trips losslessly;
+* unsound inputs are refused: predicate-carrying fault sets, stale
+  equivalence maps, compress+record.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import NetDebugError
+from repro.netdebug.campaign import (
+    CampaignReport,
+    ScenarioMatrix,
+    ScenarioResult,
+    run_campaign,
+)
+from repro.netdebug.compression import (
+    CompressedMatrix,
+    baseline_compression_matrix,
+    compress_matrix,
+    equivalence_view,
+    run_pruned_cell,
+    synthesize_result,
+)
+from repro.netdebug.diffing import diff_campaigns, verify_equivalence
+from repro.target.faults import Fault, FaultKind
+
+from pathlib import Path
+
+BASELINE_DIR = Path(__file__).resolve().parent.parent / "baselines"
+
+
+# One compress + compressed run for the whole module: the seeded
+# matrix takes seconds and every claim below reads the same artifacts.
+@pytest.fixture(scope="module")
+def compressed():
+    return compress_matrix(baseline_compression_matrix())
+
+
+@pytest.fixture(scope="module")
+def expanded_report(compressed):
+    return run_campaign(
+        baseline_compression_matrix(), compress=compressed
+    )
+
+
+def small_matrix(**overrides) -> ScenarioMatrix:
+    axes = dict(
+        programs=["strict_parser"],
+        targets=["reference", "sdnet"],
+        faults={"baseline": ()},
+        workloads=["udp"],
+        count=4,
+        seed=7,
+    )
+    axes.update(overrides)
+    return ScenarioMatrix(**axes)
+
+
+# ---------------------------------------------------------------------------
+# Bucketing
+# ---------------------------------------------------------------------------
+
+def test_compression_is_deterministic(compressed):
+    again = compress_matrix(baseline_compression_matrix())
+    assert again.to_json() == compressed.to_json()
+
+
+def test_golden_compression_baseline_regenerates(compressed, tmp_path):
+    fresh = tmp_path / "compression.json"
+    compressed.save(fresh)
+    assert fresh.read_bytes() == (
+        BASELINE_DIR / "compression.json"
+    ).read_bytes()
+    # ... and the committed artifact loads back to the same bucketing.
+    assert CompressedMatrix.load(
+        BASELINE_DIR / "compression.json"
+    ).to_json() == compressed.to_json()
+
+
+def test_seeded_matrix_compresses_to_at_most_60_percent(compressed):
+    assert compressed.expanded_cells == 54
+    assert compressed.ratio <= 0.6
+    # Every cell is accounted for exactly once.
+    keys = set(compressed.representative_keys)
+    pruned = set(compressed.pruned_keys)
+    assert not keys & pruned
+    assert len(keys) + len(pruned) == compressed.expanded_cells
+    assert set(compressed.signatures) == keys | pruned
+
+
+def test_ghost_faults_merge_into_baseline(compressed):
+    """Inert faults normalize away, so ghost-fault cells are pruned."""
+    rep_for = compressed.representative_for
+    assert (
+        rep_for["strict_parser/reference/ghost_stage/udp"]
+        == "strict_parser/reference/baseline/udp"
+    )
+    assert (
+        rep_for["strict_parser/reference/ghost_table/udp"]
+        == "strict_parser/reference/baseline/udp"
+    )
+
+
+def test_deviating_target_stays_separate(compressed):
+    """The tofino deparse-budget/TCAM deviations change observable
+    behaviour, so tofino cells never share a bucket with the
+    spec-faithful targets."""
+    rep_for = compressed.representative_for
+    for key, rep in rep_for.items():
+        if "/tofino/" in key:
+            assert "/tofino/" in rep
+        else:
+            assert "/tofino/" not in rep
+
+
+def test_merges_never_cross_workloads(compressed):
+    """Identical path classes are not enough: different workloads
+    produce different wire bytes, so cross-workload merging is
+    unsound and must never happen."""
+    for key, rep in compressed.representative_for.items():
+        assert key.rsplit("/", 1)[1] == rep.rsplit("/", 1)[1]
+
+
+def test_stateful_cells_are_pinned():
+    matrix = small_matrix(oracle="stateful")
+    compressed = compress_matrix(matrix)
+    assert len(compressed.pins) == 2
+    assert all(
+        "stateful oracle" in reason
+        for reason in compressed.pins.values()
+    )
+    # Pinned cells are singleton buckets: nothing is pruned.
+    assert compressed.pruned_keys == []
+
+
+def test_sla_cells_are_pinned():
+    compressed = compress_matrix(small_matrix(sla_p99_cycles=500.0))
+    assert set(compressed.pins.values()) == {"sla-graded cell"}
+    assert compressed.pruned_keys == []
+
+
+def test_predicate_faults_are_refused():
+    matrix = small_matrix(
+        faults={"pred": (Fault(FaultKind.BLACKHOLE, stage="ingress.0",
+                               predicate=lambda p: True),)},
+    )
+    with pytest.raises(NetDebugError, match="predicate"):
+        compress_matrix(matrix)
+
+
+def test_artifact_round_trips_losslessly(compressed):
+    clone = CompressedMatrix.from_dict(
+        json.loads(json.dumps(compressed.to_dict()))
+    )
+    assert clone.to_json() == compressed.to_json()
+    assert clone.representative_for == compressed.representative_for
+
+
+# ---------------------------------------------------------------------------
+# Compressed execution + re-expansion
+# ---------------------------------------------------------------------------
+
+def test_compressed_report_diffs_clean_against_campaign_golden(
+    expanded_report,
+):
+    golden = CampaignReport.load(BASELINE_DIR / "campaign.json")
+    diff = diff_campaigns(golden, expanded_report)
+    assert not diff.is_regression
+    assert not diff.unexplained_flips
+    # The shared seeded cells must compare equal — only the extra
+    # ghost-fault/imix cells may appear, as informational additions.
+    assert not diff.removed
+    assert not [d for d in diff.deltas]
+
+
+def test_expanded_report_has_full_matrix_shape(
+    compressed, expanded_report
+):
+    assert expanded_report.scenarios == compressed.expanded_cells
+    meta = expanded_report.meta["compression"]
+    assert meta["representatives"] == len(compressed.entries)
+    assert meta["expanded"] == compressed.expanded_cells
+
+
+def test_pruned_results_carry_represented_by(compressed, expanded_report):
+    rep_for = compressed.representative_for
+    for result in expanded_report.results:
+        key = result.scenario.key
+        if key in rep_for:
+            assert result.represented_by == rep_for[key]
+        else:
+            assert result.represented_by is None
+    # ... and the marker survives the canonical JSON round trip.
+    clone = CampaignReport.from_json(expanded_report.to_json())
+    assert clone.to_json() == expanded_report.to_json()
+    marked = [r for r in clone.results if r.represented_by is not None]
+    assert len(marked) == len(compressed.pruned_keys)
+
+
+def test_synthesized_identity_is_rewritten(compressed, expanded_report):
+    """A pruned cell's report must read as ITS cell — session, device,
+    and the scenario key embedded in finding messages."""
+    by_key = {r.scenario.key: r for r in expanded_report.results}
+    # Pick a pruned cell that carries findings, so the message rewrite
+    # is actually exercised.
+    rep_for = compressed.representative_for
+    pruned_key = next(
+        key for key, rep in rep_for.items()
+        if by_key[rep].report.findings
+    )
+    result = by_key[pruned_key]
+    assert result.represented_by == rep_for[pruned_key]
+    assert result.report.session == (
+        f"campaign/{result.scenario.index:04d}/{pruned_key}"
+    )
+    assert result.report.device == (
+        f"{result.scenario.target}-{result.scenario.program}"
+    )
+    assert result.report.findings
+    for finding in result.report.findings:
+        assert pruned_key in finding.message
+        assert result.represented_by not in finding.message
+
+
+def test_compress_false_stays_byte_identical():
+    matrix = small_matrix()
+    plain = run_campaign(matrix)
+    defaulted = run_campaign(matrix, compress=False)
+    assert plain.to_json() == defaulted.to_json()
+    assert "compression" not in defaulted.meta
+
+
+def test_compressed_run_executes_only_representatives(compressed):
+    matrix = baseline_compression_matrix()
+    seen = []
+    run_campaign(
+        matrix,
+        compress=compressed,
+        on_result=lambda key, report, progress: seen.append(
+            (key, progress.total)
+        ),
+    )
+    assert sorted(k for k, _ in seen) == sorted(
+        compressed.representative_keys
+    )
+    assert {total for _, total in seen} == {len(compressed.entries)}
+
+
+def test_stale_equivalence_map_is_refused(compressed):
+    with pytest.raises(NetDebugError, match="different scenario matrix"):
+        run_campaign(small_matrix(), compress=compressed)
+
+
+def test_compress_and_record_are_mutually_exclusive(tmp_path):
+    with pytest.raises(NetDebugError, match="mutually exclusive"):
+        run_campaign(
+            small_matrix(), compress=True, record_dir=tmp_path / "rec"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The machine check
+# ---------------------------------------------------------------------------
+
+def test_verify_equivalence_full_audit_passes(
+    compressed, expanded_report
+):
+    """The acceptance-criterion audit: EVERY pruned cell genuinely
+    re-run reproduces its representative's stored result byte-for-byte
+    modulo cell identity."""
+    failures = verify_equivalence(compressed, expanded_report)
+    assert failures == []
+
+
+def test_verify_equivalence_catches_tampering(
+    compressed, expanded_report
+):
+    payload = json.loads(expanded_report.to_json())
+    # Corrupt one representative-with-dependents' stored verdict the
+    # way a wrong bucketing would surface: its result no longer matches
+    # what the pruned cell's re-run produces.
+    rep_key = compressed.entries[0].representative
+    assert compressed.entries[0].represented
+    victim = next(
+        r for r in payload["results"]
+        if "/".join(
+            str(r["scenario"][axis])
+            for axis in ("program", "target", "fault", "workload")
+        ) == rep_key
+    )
+    victim["report"]["findings"].append(
+        {"kind": "unexpected_output", "message": "tampered",
+         "stage": "", "stream_id": None}
+    )
+    tampered = CampaignReport.from_dict(payload)
+    failures = verify_equivalence(
+        compressed, tampered, keys=[compressed.entries[0].represented[0]]
+    )
+    assert len(failures) == 1
+    assert rep_key in failures[0]
+
+
+def test_run_pruned_cell_rejects_non_pruned_keys(compressed):
+    with pytest.raises(NetDebugError, match="not a pruned cell"):
+        run_pruned_cell(
+            compressed, "strict_parser/reference/baseline/udp"
+        )
+
+
+def test_equivalence_view_masks_identity_only():
+    result = run_campaign(small_matrix()).results[0]
+    view = equivalence_view(result.to_dict())
+    assert "scenario" not in view
+    assert view["report"]["device"] == ""
+    assert "clock_cycles" in view["report"]["measurements"]
+    timeless = equivalence_view(result.to_dict(), include_timing=False)
+    assert "clock_cycles" not in timeless["report"]["measurements"]
+    assert timeless["report"]["latency"] == {}
+
+
+def test_synthesize_result_round_trip():
+    matrix = small_matrix()
+    report = run_campaign(matrix)
+    rep = report.results[0]
+    pruned = report.results[1].scenario
+    synthetic = synthesize_result(rep, pruned)
+    assert synthetic.scenario == pruned
+    assert synthetic.represented_by == rep.scenario.key
+    # Modulo identity the synthesized result IS the representative's.
+    assert equivalence_view(
+        synthetic.to_dict(), include_timing=False
+    ) == equivalence_view(rep.to_dict(), include_timing=False)
+    clone = ScenarioResult.from_dict(
+        json.loads(json.dumps(synthetic.to_dict()))
+    )
+    assert clone.represented_by == rep.scenario.key

@@ -113,7 +113,8 @@ class TestGoldenBaselines:
         # The CI gate's precondition on this very checkout: re-running
         # the seeded sweeps reproduces the committed files exactly.
         paths = write_baselines(tmp_path, workers=2)
-        for name in ("campaign", "stateful", "differential"):
+        for name in ("campaign", "stateful", "differential",
+                     "compression"):
             fresh = paths[name].read_text()
             committed = (BASELINE_DIR / f"{name}.json").read_text()
             assert fresh == committed, (
@@ -733,3 +734,116 @@ class TestCli:
         matrix = run_baseline_differential(count=4)
         m = matrix.save(tmp_path / "m.json")
         assert isinstance(load_report(m), DifferentialReport)
+
+
+# ---------------------------------------------------------------------------
+# Compressed reports through the differ and CLI
+# ---------------------------------------------------------------------------
+
+class TestCompressedReports:
+    """The diff gate on re-expanded compressed runs: a verdict flip
+    hiding in a pruned (synthesized) cell must fail the gate exactly
+    like a genuine flip, and every rendering must name the
+    representative whose result the cell carries."""
+
+    REP_KEY = "strict_parser/reference/baseline/udp"
+    PRUNED_KEY = "strict_parser/reference/ghost/udp"
+
+    def compressed_pair(self, flipped: bool):
+        old = make_campaign(
+            "old",
+            make_result(0, fault="baseline"),
+            make_result(1, fault="ghost"),
+        )
+        pruned = make_result(
+            1, fault="ghost",
+            findings=("unexpected_output",) if flipped else (),
+        )
+        pruned.represented_by = self.REP_KEY
+        new = make_campaign(
+            "new", make_result(0, fault="baseline"), pruned
+        )
+        return old, new
+
+    def test_flip_in_pruned_cell_is_an_unexplained_regression(self):
+        old, new = self.compressed_pair(flipped=True)
+        diff = diff_campaigns(old, new)
+        assert diff.is_regression
+        (delta,) = diff.unexplained_flips
+        assert delta.key == self.PRUNED_KEY
+        assert delta.represented_by == self.REP_KEY
+        assert delta.to_dict()["represented_by"] == self.REP_KEY
+
+    def test_clean_pruned_cells_add_no_delta_or_marker_bytes(self):
+        old, new = self.compressed_pair(flipped=False)
+        diff = diff_campaigns(old, new)
+        assert not diff.deltas and not diff.is_regression
+        # Unflipped compressed runs serialize without the marker, so
+        # pre-compression diff consumers see unchanged bytes.
+        assert "represented_by" not in diff.to_json()
+
+    def test_cli_exits_one_on_flip_hidden_in_pruned_cell(
+        self, tmp_path, capsys
+    ):
+        old, new = self.compressed_pair(flipped=True)
+        old_path = old.save(tmp_path / "old.json")
+        new_path = new.save(tmp_path / "new.json")
+        assert main([str(old_path), str(new_path)]) == 1
+        out = capsys.readouterr().out
+        assert "flip [pass->fail]" in out
+        assert f"pruned cell represented by {self.REP_KEY}" in out
+
+    def test_cli_markdown_names_the_representative(
+        self, tmp_path, capsys
+    ):
+        old, new = self.compressed_pair(flipped=True)
+        old_path = old.save(tmp_path / "old.json")
+        new_path = new.save(tmp_path / "new.json")
+        out_path = tmp_path / "diff.md"
+        assert main(
+            [str(old_path), str(new_path),
+             "--format", "markdown", "--out", str(out_path)]
+        ) == 1
+        rendered = out_path.read_text()
+        assert f"| `{self.PRUNED_KEY}` |" in rendered
+        assert (
+            f"pruned cell represented by `{self.REP_KEY}`" in rendered
+        )
+
+
+class TestWriteBaselineOnly:
+    def test_only_restricts_generation(self, tmp_path, capsys):
+        assert main(
+            ["--write-baseline", "--dir", str(tmp_path / "fresh"),
+             "--only", "compression"]
+        ) == 0
+        fresh = tmp_path / "fresh"
+        assert (fresh / "compression.json").exists()
+        assert not (fresh / "campaign.json").exists()
+        assert not (fresh / "differential.json").exists()
+
+    def test_only_is_repeatable(self, tmp_path):
+        assert main(
+            ["--write-baseline", "--dir", str(tmp_path / "fresh"),
+             "--only", "differential", "--only", "compression"]
+        ) == 0
+        fresh = tmp_path / "fresh"
+        assert (fresh / "differential.json").exists()
+        assert (fresh / "compression.json").exists()
+        assert not (fresh / "campaign.json").exists()
+
+    def test_only_requires_write_baseline(self, tmp_path, capsys):
+        old = make_campaign("old", make_result(0))
+        path = old.save(tmp_path / "r.json")
+        assert main([str(path), str(path), "--only", "campaign"]) == 2
+        assert "--write-baseline" in capsys.readouterr().err
+
+    def test_unknown_kind_is_rejected_in_api(self, tmp_path):
+        with pytest.raises(NetDebugError, match="unknown baseline kind"):
+            write_baselines(tmp_path, only=["campagne"])
+
+    def test_fresh_compression_matches_committed_golden(self, tmp_path):
+        paths = write_baselines(tmp_path, only=["compression"])
+        assert paths["compression"].read_bytes() == (
+            BASELINE_DIR / "compression.json"
+        ).read_bytes()
