@@ -1,0 +1,139 @@
+"""EXP-SERVICE — the multi-tenant campaign service under contention.
+
+Two tenants share one persistent fleet at fair-share weights 3:1. The
+experiment measures what a shared validation service exists to
+provide:
+
+* **Time-to-first-result per tenant**: both campaigns stream results
+  while the other is still running; neither tenant waits for a
+  dedicated fleet to spin up or for the other's campaign to finish.
+* **Fairness**: contended dispatch shares must land within 2x of the
+  configured weights — the deficit-round-robin contract from the
+  service scheduler, measured on the scheduler's own contention
+  counters.
+
+Timings land in ``BENCH_perf.json`` via the shared conftest hook.
+"""
+
+import threading
+import time
+
+from conftest import emit
+
+from repro.netdebug.campaign import _pool_context
+from repro.netdebug.client import ServiceClient
+from repro.netdebug.cluster import service_worker_main
+from repro.netdebug.diffing import baseline_matrix
+from repro.netdebug.service import CampaignService
+
+SECRET = "bench-fleet-secret"
+
+#: The committed-baseline matrix (12 scenarios, 3 targets) per tenant,
+#: at a packet count that makes shard work dominate the wire.
+HEAVY = baseline_matrix(count=40)
+LIGHT = baseline_matrix(count=40, seed=2019)
+
+
+def _fleet_up(service, n, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        alive = sum(
+            1 for w in service.worker_listing() if w["alive"]
+        )
+        if alive >= n:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"fleet never reached {n} live workers")
+
+
+def test_service_two_tenant_contention(benchmark):
+    """Both tenants stream results concurrently off one fleet, and the
+    contended dispatch shares respect the 3:1 weights within 2x."""
+
+    def experiment():
+        service = CampaignService(secret=SECRET).start()
+        workers = []
+        try:
+            for _ in range(2):
+                process = _pool_context().Process(
+                    target=service_worker_main,
+                    args=(service.address,),
+                    kwargs=dict(secret=SECRET, connect_retry_s=20.0),
+                )
+                process.start()
+                workers.append(process)
+            _fleet_up(service, 2)
+            client = ServiceClient(
+                service.address, secret=SECRET, timeout=600.0
+            )
+            t0 = time.perf_counter()
+            heavy = client.submit(
+                HEAVY, name="heavy", tenant="ci", weight=3.0
+            )
+            light = client.submit(
+                LIGHT, name="light", tenant="nightly", weight=1.0
+            )
+            first: dict[str, float] = {}
+
+            def mark(tenant):
+                def hook(key, report, progress):
+                    first.setdefault(
+                        tenant, time.perf_counter() - t0
+                    )
+                return hook
+
+            reports = {}
+            streamer = threading.Thread(
+                target=lambda: reports.__setitem__(
+                    "light", light.stream(on_result=mark("light"))
+                )
+            )
+            streamer.start()
+            reports["heavy"] = heavy.stream(on_result=mark("heavy"))
+            streamer.join()
+            wall = time.perf_counter() - t0
+            heavy.close()
+            light.close()
+            return reports, first, wall
+        finally:
+            service.close()
+            for process in workers:
+                process.join(timeout=10.0)
+                if process.is_alive():
+                    process.terminate()
+
+    reports, first, wall = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    heavy_meta = reports["heavy"].meta["service"]
+    light_meta = reports["light"].meta["service"]
+    # Streaming: each tenant's first verdict lands before the shared
+    # fleet has finished the combined workload.
+    assert first["heavy"] < wall and first["light"] < wall
+    # Fairness: contended shares within 2x of the 3:1 weights.
+    assert heavy_meta["contended"] > 0 and light_meta["contended"] > 0
+    ratio = heavy_meta["contended"] / light_meta["contended"]
+    assert 3.0 / 2.0 <= ratio <= 3.0 * 2.0, (heavy_meta, light_meta)
+
+    emit(
+        "EXP-SERVICE — two tenants, one fleet (weights 3:1)",
+        [
+            f"{'tenant':>8} {'weight':>7} {'ttfr_s':>8} "
+            f"{'contended':>10} {'dispatched':>11}",
+            f"{'ci':>8} {3.0:>7.1f} {first['heavy']:>8.3f} "
+            f"{heavy_meta['contended']:>10} "
+            f"{heavy_meta['dispatched']:>11}",
+            f"{'nightly':>8} {1.0:>7.1f} {first['light']:>8.3f} "
+            f"{light_meta['contended']:>10} "
+            f"{light_meta['dispatched']:>11}",
+            f"contended share ratio {ratio:.2f} (weights 3.00), "
+            f"combined wall {wall:.3f}s",
+        ],
+    )
+    benchmark.extra_info["ttfr_heavy_s"] = round(first["heavy"], 4)
+    benchmark.extra_info["ttfr_light_s"] = round(first["light"], 4)
+    benchmark.extra_info["wall_s"] = round(wall, 4)
+    benchmark.extra_info["contended_heavy"] = heavy_meta["contended"]
+    benchmark.extra_info["contended_light"] = light_meta["contended"]
+    benchmark.extra_info["fairness_ratio"] = round(ratio, 3)

@@ -81,6 +81,12 @@ __all__ = [
     "require_known_target",
     "require_known_program",
     "scenario_key",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "fault_to_dict",
+    "fault_from_dict",
+    "matrix_to_dict",
+    "matrix_from_dict",
     "provision_acl_gate",
     "provision_stateful_firewall",
     "provision_int_telemetry",
@@ -245,6 +251,48 @@ class Scenario:
         )
 
 
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """One resolved scenario cell as JSON data (exact inverse:
+    :func:`scenario_from_dict`).
+
+    This is the ONE scenario serialization: the shape embedded in
+    :meth:`ScenarioResult.to_dict` (and therefore pinned byte-for-byte
+    by the golden baselines) and the shape a service job frame carries.
+    ``sla_p99_cycles`` and ``oracle`` are emitted only when set so
+    pre-SLA / pre-oracle baselines keep round-tripping byte-identically.
+    """
+    payload = {
+        "index": scenario.index,
+        "program": scenario.program,
+        "target": scenario.target,
+        "fault": scenario.fault,
+        "workload": scenario.workload,
+        "count": scenario.count,
+        "seed": scenario.seed,
+        "setup": scenario.setup,
+    }
+    if scenario.sla_p99_cycles is not None:
+        payload["sla_p99_cycles"] = scenario.sla_p99_cycles
+    if scenario.oracle != "stateless":
+        payload["oracle"] = scenario.oracle
+    return payload
+
+
+def scenario_from_dict(data: dict) -> Scenario:
+    return Scenario(
+        index=data["index"],
+        program=data["program"],
+        target=data["target"],
+        fault=data["fault"],
+        workload=data["workload"],
+        count=data["count"],
+        seed=data["seed"],
+        setup=data.get("setup", ""),
+        sla_p99_cycles=data.get("sla_p99_cycles"),
+        oracle=data.get("oracle", "stateless"),
+    )
+
+
 @dataclass
 class ScenarioMatrix:
     """A declarative (program × target × fault × workload) sweep.
@@ -374,8 +422,16 @@ class ScenarioMatrix:
 #: an artifact across campaigns could silently replay a *previous*
 #: campaign's provisioning (and fork-started workers inherit the
 #: parent's cache).
-_ARTIFACTS: dict[tuple[str, str, str], CompiledProgram] = {}
-_ARTIFACT_EPOCH: list[int] = [-1]
+_ARTIFACTS: dict[tuple[int, str, str, str], CompiledProgram] = {}
+#: Campaign epochs currently held in :data:`_ARTIFACTS`, oldest first.
+#: A one-shot pool worker only ever sees one epoch; a *service* worker
+#: interleaves shards from concurrent campaigns, so instead of clearing
+#: the cache on every epoch switch (which would recompile on each
+#: interleave) we key entries by epoch and evict whole epochs once the
+#: window fills. Entries never cross epochs: a provisioned artifact
+#: must not leak a previous campaign's table state.
+_ARTIFACT_EPOCHS: list[int] = []
+_ARTIFACT_EPOCH_WINDOW = 4
 #: Epoch tokens only need to *differ* between campaigns that could ever
 #: reach the same worker cache. Mixing the coordinator PID in covers the
 #: cluster case, where a long-lived external worker outlives coordinator
@@ -443,10 +499,15 @@ def _shard_device(
     deviation model and the setup label, so a hit can never alias a
     differently-provisioned artifact.
     """
-    if _ARTIFACT_EPOCH[0] != epoch:
-        _ARTIFACTS.clear()
-        _ARTIFACT_EPOCH[0] = epoch
-    key = (program, target, setup)
+    if epoch not in _ARTIFACT_EPOCHS:
+        _ARTIFACT_EPOCHS.append(epoch)
+        while len(_ARTIFACT_EPOCHS) > _ARTIFACT_EPOCH_WINDOW:
+            stale = _ARTIFACT_EPOCHS.pop(0)
+            for cached_key in [
+                k for k in _ARTIFACTS if k[0] == stale
+            ]:
+                del _ARTIFACTS[cached_key]
+    key = (epoch, program, target, setup)
     device = TARGETS[target](f"{target}-{program}", engine=engine)
     compiled = _ARTIFACTS.get(key)
     if compiled is None:
@@ -754,27 +815,8 @@ class ScenarioResult:
         return Capability.from_score(self.score)
 
     def to_dict(self) -> dict:
-        scenario = {
-            "index": self.scenario.index,
-            "program": self.scenario.program,
-            "target": self.scenario.target,
-            "fault": self.scenario.fault,
-            "workload": self.scenario.workload,
-            "count": self.scenario.count,
-            "seed": self.scenario.seed,
-            "setup": self.scenario.setup,
-        }
-        # Emitted only when set: pre-SLA baselines must keep
-        # round-tripping byte-identically.
-        if self.scenario.sla_p99_cycles is not None:
-            scenario["sla_p99_cycles"] = self.scenario.sla_p99_cycles
-        # Same conditional-emission contract for the oracle axis:
-        # stateless cells serialize exactly as they did before the
-        # oracle existed.
-        if self.scenario.oracle != "stateless":
-            scenario["oracle"] = self.scenario.oracle
         payload = {
-            "scenario": scenario,
+            "scenario": scenario_to_dict(self.scenario),
             "verdict": self.verdict,
             "score": round(self.score, 6),
             "capability": self.capability.value,
@@ -790,7 +832,6 @@ class ScenarioResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioResult":
-        s = data["scenario"]
         coverage = None
         if "coverage" in data:
             # Deferred: coverage imports this module's registries.
@@ -798,18 +839,7 @@ class ScenarioResult:
 
             coverage = CoverageMap.from_dict(data["coverage"])
         return cls(
-            scenario=Scenario(
-                index=s["index"],
-                program=s["program"],
-                target=s["target"],
-                fault=s["fault"],
-                workload=s["workload"],
-                count=s["count"],
-                seed=s["seed"],
-                setup=s.get("setup", ""),
-                sla_p99_cycles=s.get("sla_p99_cycles"),
-                oracle=s.get("oracle", "stateless"),
-            ),
+            scenario=scenario_from_dict(data["scenario"]),
             report=SessionReport.from_dict(data["report"]),
             coverage=coverage,
             represented_by=data.get("represented_by"),
@@ -1250,7 +1280,20 @@ def run_campaign(
 # Record / replay via the regression-artifact format
 # ---------------------------------------------------------------------------
 
-def _fault_to_dict(fault: Fault) -> dict:
+def fault_to_dict(fault: Fault) -> dict:
+    """One fault as declarative JSON data.
+
+    Predicate-carrying faults are refused: a predicate is code, and
+    every consumer of this codec (recorded manifests, compressed-matrix
+    maps, service job frames) promises that deserialization never
+    executes anything.
+    """
+    if fault.predicate is not None:
+        raise NetDebugError(
+            f"fault {fault.kind.value!r} at stage {fault.stage!r} "
+            "carries a predicate callable; predicate faults cannot be "
+            "serialized losslessly as data"
+        )
     return {
         "kind": fault.kind.value,
         "stage": fault.stage,
@@ -1265,7 +1308,7 @@ def _fault_to_dict(fault: Fault) -> dict:
     }
 
 
-def _fault_from_dict(data: dict) -> Fault:
+def fault_from_dict(data: dict) -> Fault:
     return Fault(
         kind=FaultKind(data["kind"]),
         stage=data.get("stage", ""),
@@ -1277,6 +1320,54 @@ def _fault_from_dict(data: dict) -> Fault:
         table=data.get("table"),
         counter=data.get("counter"),
         extra_cycles=data.get("extra_cycles", 0),
+    )
+
+
+# Historical private names (compression and the manifest writer grew up
+# calling these).
+_fault_to_dict = fault_to_dict
+_fault_from_dict = fault_from_dict
+
+
+def matrix_to_dict(matrix: ScenarioMatrix) -> dict:
+    """A scenario matrix as declarative JSON data (lossless inverse:
+    :func:`matrix_from_dict`). Refuses predicate-carrying fault sets —
+    see :func:`fault_to_dict`. The ONE matrix codec shared by the
+    compression map format and the service submit frame."""
+    payload = {
+        "programs": list(matrix.programs),
+        "targets": list(matrix.targets),
+        "faults": {
+            label: [fault_to_dict(f) for f in fault_set]
+            for label, fault_set in matrix.faults.items()
+        },
+        "workloads": list(matrix.workloads),
+        "count": matrix.count,
+        "seed": matrix.seed,
+        "setup": matrix.setup,
+    }
+    # Conditional, matching the ScenarioResult serialization contract.
+    if matrix.sla_p99_cycles is not None:
+        payload["sla_p99_cycles"] = matrix.sla_p99_cycles
+    if matrix.oracle != "stateless":
+        payload["oracle"] = matrix.oracle
+    return payload
+
+
+def matrix_from_dict(data: dict) -> ScenarioMatrix:
+    return ScenarioMatrix(
+        programs=list(data["programs"]),
+        targets=list(data["targets"]),
+        faults={
+            label: tuple(fault_from_dict(f) for f in fault_set)
+            for label, fault_set in data["faults"].items()
+        },
+        workloads=list(data["workloads"]),
+        count=data["count"],
+        seed=data["seed"],
+        setup=data.get("setup", ""),
+        sla_p99_cycles=data.get("sla_p99_cycles"),
+        oracle=data.get("oracle", "stateless"),
     )
 
 

@@ -63,13 +63,21 @@ from .campaign import (
     run_campaign,
 )
 from .report import SessionReport
-from .transport import Channel, require_cache_version, stamp_cache_version
+from .transport import (
+    Channel,
+    decode_job,
+    require_cache_version,
+    stamp_cache_version,
+)
 
 __all__ = [
     "SHARD_FUNCTIONS",
     "DEFAULT_RETRY_BUDGET",
     "Coordinator",
     "worker_main",
+    "service_worker_main",
+    "normalize_tags",
+    "tags_eligible",
     "ClusterExecutor",
     "run_cluster_campaign",
     "ProgressPrinter",
@@ -625,6 +633,261 @@ def worker_main(
             _serve_pool(channel, slots, crash_after)
     finally:
         channel.close()
+
+
+# ---------------------------------------------------------------------------
+# Service worker (persistent fleet protocol)
+# ---------------------------------------------------------------------------
+
+def normalize_tags(tags) -> tuple[str, ...]:
+    """Validate capability tags into sorted ``dim:value`` form.
+
+    A tag names one value of one placement dimension (``target:tofino``,
+    ``engine:batch``). Declaring a dimension *constrains* the worker to
+    that value; leaving a dimension undeclared means "anything" — so a
+    bare untagged worker accepts every shard.
+    """
+    normalized = set()
+    for tag in tags:
+        tag = tag.strip()
+        if not tag:
+            continue
+        dim, sep, value = tag.partition(":")
+        if not sep or not dim or not value:
+            raise ClusterError(
+                f"capability tag {tag!r} must look like dim:value "
+                "(e.g. target:tofino, engine:batch)"
+            )
+        normalized.add(f"{dim}:{value}")
+    return tuple(sorted(normalized))
+
+
+def tags_eligible(worker_tags, required) -> bool:
+    """May a worker with ``worker_tags`` run a shard needing ``required``?
+
+    Per placement dimension: the worker is eligible iff it declares no
+    tag in that dimension (unconstrained) or declares the exact
+    required value. A worker pinned ``target:tofino`` never receives
+    reference shards; an untagged worker receives anything.
+    """
+    declared: dict[str, set[str]] = {}
+    for tag in worker_tags:
+        dim, _, value = tag.partition(":")
+        declared.setdefault(dim, set()).add(value)
+    for tag in required:
+        dim, _, value = tag.partition(":")
+        values = declared.get(dim)
+        if values is not None and value not in values:
+            return False
+    return True
+
+
+class _ServiceSession:
+    """One service worker's cross-connection state.
+
+    ``ledger`` holds every finished assignment's result frame until the
+    coordinator acks it — the reconnect currency: after a drop the
+    worker re-announces what it finished (``done``) and what it still
+    holds unexecuted (``holding``), and the coordinator requeues only
+    assignments in neither set.
+    """
+
+    def __init__(self, session: str | None = None):
+        self.session = session or os.urandom(8).hex()
+        self.ledger: dict[int, dict] = {}
+        self.queue: deque[dict] = deque()
+        self.completed = 0
+
+
+def _service_execute(message: dict) -> dict:
+    """Run one JSON job frame; the reply frame (result or error)."""
+    aid = message.get("assignment")
+    base = {
+        "assignment": aid,
+        "campaign": message.get("campaign"),
+        "id": message.get("id"),
+    }
+    try:
+        require_cache_version(message)
+        if message.get("fn", "run") != "run":
+            raise ClusterError(
+                f"service workers only run 'run' shards, got "
+                f"{message.get('fn')!r}"
+            )
+        result = _run_shard(decode_job(message["job"]))
+    except Exception:
+        return {"type": "error", "error": traceback.format_exc(), **base}
+    reply = {"type": "result", "result": result.to_dict(), **base}
+    # cache_stats is deliberately NOT part of ScenarioResult.to_dict
+    # (golden bytes); it rides the frame as a sidecar so the service can
+    # still aggregate compile-cache counters into report.meta.
+    if result.cache_stats:
+        reply["cache_stats"] = dict(result.cache_stats)
+    return reply
+
+
+def service_worker_main(
+    address: tuple[str, int],
+    slots: int = 1,
+    tags=(),
+    secret: str | bytes | None = None,
+    session: str | None = None,
+    crash_after: int | None = None,
+    drop_after: int | None = None,
+    connect_retry_s: float = 20.0,
+    reconnect_budget: int = 8,
+) -> None:
+    """Run one *service* worker until the coordinator dismisses it.
+
+    Differences from the legacy one-shot :func:`worker_main`:
+
+    * the wire is JSON-only and (with ``secret``) HMAC-authenticated —
+      a service worker never unpickles coordinator bytes;
+    * the hello declares capability ``tags`` and a persistent
+      ``session`` id, and every completed assignment is held in a
+      ledger until acked, so a transient drop resumes instead of
+      losing work (the coordinator requeues only what the worker
+      genuinely no longer holds);
+    * shards execute inline, one at a time, with up to ``slots`` jobs
+      pipelined into the local queue by the coordinator.
+
+    ``crash_after`` hard-exits on *receiving* shard ``crash_after + 1``
+    (legacy chaos semantics); ``drop_after`` instead closes the socket
+    after every ``drop_after`` completions and reconnects — the
+    reconnect-protocol chaos knob.
+    """
+    state = _ServiceSession(session)
+    tags = normalize_tags(tags)
+    slots = max(1, int(slots))
+    reconnects = 0
+    while True:
+        sock = _connect_with_retry(address, connect_retry_s)
+        channel = Channel(sock, secret=secret)
+        try:
+            outcome = _serve_service(
+                channel, state, slots, tags, crash_after, drop_after
+            )
+        except (OSError, ClusterError):
+            outcome = "lost"
+        finally:
+            channel.close()
+        if outcome == "shutdown":
+            return
+        # Anything unfinished survives in ``state``; reconnect and
+        # resume. A worker that cannot reach the coordinator at all
+        # gives up via _connect_with_retry's deadline.
+        reconnects += 1
+        if reconnects > reconnect_budget:
+            raise ClusterError(
+                f"service worker lost its coordinator {reconnects} "
+                "times; giving up"
+            )
+
+
+def _serve_service(
+    channel: Channel,
+    state: _ServiceSession,
+    slots: int,
+    tags: tuple[str, ...],
+    crash_after: int | None,
+    drop_after: int | None,
+) -> str:
+    """One connection's worth of the service worker protocol.
+
+    Returns ``"shutdown"`` (dismissed — exit) or ``"lost"``
+    (connection died — caller reconnects with ``state`` intact).
+    """
+    channel.send(
+        {
+            "type": "hello",
+            "mode": "service",
+            "slots": slots,
+            "pid": os.getpid(),
+            "tags": list(tags),
+            "session": state.session,
+            "holding": sorted(
+                m["assignment"] for m in state.queue
+            ),
+            "done": sorted(state.ledger),
+        }
+    )
+    welcome = channel.recv(json_only=True)
+    if welcome is None or welcome.get("type") == "shutdown":
+        return "shutdown"
+    if welcome.get("type") != "welcome":
+        raise ClusterError(
+            f"service coordinator sent {welcome.get('type')!r} "
+            "where a welcome was expected"
+        )
+    for aid in welcome.get("ack", []):
+        state.ledger.pop(aid, None)
+    for aid in welcome.get("want", []):
+        frame = state.ledger.get(aid)
+        if frame is not None:
+            channel.send(frame)
+
+    cond = threading.Condition()
+    status = {"outcome": None}
+
+    def _recv_loop() -> None:
+        while True:
+            try:
+                message = channel.recv(json_only=True)
+            except (OSError, ClusterError):
+                message = None
+            with cond:
+                if message is None:
+                    status["outcome"] = status["outcome"] or "lost"
+                    cond.notify_all()
+                    return
+                kind = message.get("type")
+                if kind == "job":
+                    state.queue.append(message)
+                elif kind == "ack":
+                    for aid in message.get("assignments", []):
+                        state.ledger.pop(aid, None)
+                elif kind == "shutdown":
+                    status["outcome"] = "shutdown"
+                    cond.notify_all()
+                    return
+                cond.notify_all()
+
+    receiver = threading.Thread(
+        target=_recv_loop, name="service-worker-recv", daemon=True
+    )
+    receiver.start()
+    dropped_at = state.completed
+    while True:
+        with cond:
+            while status["outcome"] is None and not state.queue:
+                cond.wait(timeout=0.1)
+            if status["outcome"] == "shutdown":
+                return "shutdown"
+            if status["outcome"] is not None and not state.queue:
+                return status["outcome"]
+            if not state.queue:
+                continue
+            if (
+                crash_after is not None
+                and state.completed >= crash_after
+            ):
+                os._exit(_CRASH_EXIT)
+            message = state.queue.popleft()
+        reply = _service_execute(message)
+        with cond:
+            aid = message.get("assignment")
+            if aid is not None:
+                state.ledger[aid] = reply
+            state.completed += 1
+        try:
+            channel.send(reply)
+        except (OSError, ClusterError):
+            return "lost"  # reply survives in the ledger
+        if (
+            drop_after is not None
+            and state.completed - dropped_at >= drop_after
+        ):
+            return "lost"  # chaos: simulate a transient drop
 
 
 # ---------------------------------------------------------------------------

@@ -76,9 +76,9 @@ from .campaign import (
     ScenarioMatrix,
     ScenarioResult,
     _EPOCH_COUNTER,
-    _fault_from_dict,
-    _fault_to_dict,
     _run_shard,
+    matrix_from_dict,
+    matrix_to_dict,
 )
 from .coverage import TracingInterpreter, _signature
 from .report import CanonicalJsonReport, SessionReport
@@ -296,50 +296,17 @@ class EquivalenceEntry:
         )
 
 
-def _matrix_to_dict(matrix: ScenarioMatrix) -> dict:
-    for label, fault_set in matrix.faults.items():
-        for fault in fault_set:
-            if fault.predicate is not None:
-                raise NetDebugError(
-                    f"fault set {label!r} carries a predicate callable; "
-                    "compressed matrices must be fully declarative to "
-                    "serialize losslessly"
-                )
-    payload = {
-        "programs": list(matrix.programs),
-        "targets": list(matrix.targets),
-        "faults": {
-            label: [_fault_to_dict(f) for f in fault_set]
-            for label, fault_set in matrix.faults.items()
-        },
-        "workloads": list(matrix.workloads),
-        "count": matrix.count,
-        "seed": matrix.seed,
-        "setup": matrix.setup,
-    }
-    # Conditional, matching the ScenarioResult serialization contract.
-    if matrix.sla_p99_cycles is not None:
-        payload["sla_p99_cycles"] = matrix.sla_p99_cycles
-    if matrix.oracle != "stateless":
-        payload["oracle"] = matrix.oracle
-    return payload
+# The matrix codec lives with the matrix now
+# (:func:`repro.netdebug.campaign.matrix_to_dict`); these aliases keep
+# compression's historical internal names working.
+_matrix_to_dict = matrix_to_dict
+_matrix_from_dict = matrix_from_dict
 
 
-def _matrix_from_dict(data: dict) -> ScenarioMatrix:
-    return ScenarioMatrix(
-        programs=list(data["programs"]),
-        targets=list(data["targets"]),
-        faults={
-            label: tuple(_fault_from_dict(f) for f in fault_set)
-            for label, fault_set in data["faults"].items()
-        },
-        workloads=list(data["workloads"]),
-        count=data["count"],
-        seed=data["seed"],
-        setup=data.get("setup", ""),
-        sla_p99_cycles=data.get("sla_p99_cycles"),
-        oracle=data.get("oracle", "stateless"),
-    )
+def _matrix_digest(payload: dict) -> str:
+    """Short content digest of a serialized matrix, for error messages."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 @dataclass
@@ -392,13 +359,30 @@ class CompressedMatrix(CanonicalJsonReport):
         return len(self.entries) / len(self.signatures)
 
     def ensure_matches(self, matrix: ScenarioMatrix) -> None:
-        """Refuse to apply this map to a matrix it wasn't built from."""
-        if _matrix_to_dict(self.matrix) != _matrix_to_dict(matrix):
-            raise NetDebugError(
-                f"compressed matrix {self.name!r} was built from a "
-                "different scenario matrix; recompress instead of "
-                "reusing a stale equivalence map"
-            )
+        """Refuse to apply this map to a matrix it wasn't built from.
+
+        The error names both content digests and the first matrix axis
+        that differs, so a stale map is diagnosable from the message
+        alone (which of count/seed/faults/... drifted), not just
+        detectable.
+        """
+        ours = matrix_to_dict(self.matrix)
+        offered = matrix_to_dict(matrix)
+        if ours == offered:
+            return
+        axis = next(
+            key
+            for key in (*ours, *(k for k in offered if k not in ours))
+            if ours.get(key) != offered.get(key)
+        )
+        raise NetDebugError(
+            f"compressed matrix {self.name!r} was built from a "
+            "different scenario matrix: map digest "
+            f"{_matrix_digest(ours)} vs offered matrix digest "
+            f"{_matrix_digest(offered)}, first differing axis "
+            f"{axis!r} ({ours.get(axis)!r} vs {offered.get(axis)!r}); "
+            "recompress instead of reusing a stale equivalence map"
+        )
 
     def to_dict(self) -> dict:
         return {

@@ -205,27 +205,45 @@ class PacketGenerator:
         except KeyError:
             raise NetDebugError(f"no stream {stream_id}") from None
 
-        # Bare streams with no per-packet callback (and no explicit
-        # arrival process or per-packet ports) take the batched path:
+        # Bare streams with no per-packet callback take the block path:
         # all wires are materialized up front and handed to the device
         # in one call, amortizing per-packet setup — the shape a
         # hardware generator has, where the stream program is compiled
-        # once and packets are emitted back to back.
-        if (
-            not stream.wrap
-            and on_injected is None
+        # once and packets are emitted back to back. inject_block runs
+        # the batch kernel when the device's engine has one (and falls
+        # back to the per-packet pipeline transparently when taps or
+        # armed faults need it), carrying the stream's own arrival
+        # process and per-packet ingress ports; only a non-input
+        # injection tap still needs inject_batch, which is tap-generic.
+        batchable = not stream.wrap and on_injected is None
+        if batchable and stream.inject_at == TAP_INPUT:
+            wires = [packet.pack() for packet in stream.materialize()]
+            injected = self._device.inject_block(
+                wires,
+                timestamps=stream.timestamps,
+                ports=stream.ingress_ports,
+            )
+        elif (
+            batchable
             and stream.timestamps is None
             and stream.ingress_ports is None
         ):
+            # inject_block only enters at the input tap; other taps
+            # keep the tap-generic batch loop (these streams carry no
+            # arrival process or per-packet ports of their own).
             wires = [packet.pack() for packet in stream.materialize()]
+            injected = self._device.inject_batch(
+                wires, at=stream.inject_at
+            )
+        else:
+            injected = None
+        if injected is not None:
             records = [
                 InjectionRecord(
                     stream.stream_id, seq_no, wires[seq_no], timestamp,
                     run=run,
                 )
-                for seq_no, (timestamp, run) in enumerate(
-                    self._device.inject_batch(wires, at=stream.inject_at)
-                )
+                for seq_no, (timestamp, run) in enumerate(injected)
             ]
             self.injected.extend(records)
             return records

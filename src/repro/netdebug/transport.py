@@ -1,4 +1,4 @@
-"""Length-prefixed socket framing for the cluster subsystem.
+"""Length-prefixed socket framing for the cluster/service subsystems.
 
 The coordinator/worker protocol (:mod:`repro.netdebug.cluster`) ships
 two kinds of payload over one TCP connection:
@@ -8,8 +8,10 @@ two kinds of payload over one TCP connection:
   implementation could speak them;
 * **shard payloads** — job tuples carrying :class:`Scenario`/
   :class:`Fault` objects and :class:`ScenarioResult` replies — encoded
-  with :mod:`pickle`, the same serialization the multiprocessing pool
-  path already relies on.
+  with :mod:`pickle` on the legacy one-shot cluster path, or (the
+  service default) as plain JSON via the :func:`encode_job` /
+  :func:`decode_job` codec, which drops the trusted-network constraint
+  pickle imposes.
 
 Every frame is ``>IB`` (4-byte big-endian body length + 1 kind byte)
 followed by the body. :func:`recv_message` returns ``None`` on a clean
@@ -17,14 +19,22 @@ EOF at a frame boundary and raises :class:`ClusterError` on a truncated
 frame, an unknown kind byte, or a body over :data:`MAX_FRAME_BYTES` —
 a corrupted length prefix must fail loudly, not allocate 4 GiB.
 
-Pickle frames execute arbitrary code on unpickling: the transport is
-for coordinator/worker fleets on hosts you already trust (the threat
-model of a lab's validation cluster), never for untrusted peers.
+Pickle frames execute arbitrary code on unpickling: the legacy cluster
+transport is for coordinator/worker fleets on hosts you already trust
+(the threat model of a lab's validation cluster), never for untrusted
+peers. The campaign *service* (:mod:`repro.netdebug.service`) instead
+speaks JSON-only frames authenticated with :class:`FrameAuth` —
+HMAC-SHA256 over a per-direction sequence number, the kind byte and
+the body, keyed from ``REPRO_SERVICE_SECRET`` — so a stray or
+malicious peer can neither execute code nor replay captured frames.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac as hmac_mod
 import json
+import os
 import pickle
 import socket
 import struct
@@ -37,8 +47,14 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "KIND_JSON",
     "KIND_PICKLE",
+    "SECRET_ENV",
+    "TAG_BYTES",
+    "FrameAuth",
+    "resolve_secret",
     "send_message",
     "recv_message",
+    "encode_job",
+    "decode_job",
     "stamp_cache_version",
     "require_cache_version",
     "Channel",
@@ -52,6 +68,56 @@ _HEADER = struct.Struct(">IB")
 
 KIND_JSON = 0x4A  # "J"
 KIND_PICKLE = 0x50  # "P"
+
+#: Environment variable the service's frame-authentication key comes
+#: from. Any non-empty byte string works; both ends must agree.
+SECRET_ENV = "REPRO_SERVICE_SECRET"
+
+#: HMAC-SHA256 digest appended to every authenticated frame body.
+TAG_BYTES = 32
+
+
+def resolve_secret(secret: str | bytes | None = None) -> bytes | None:
+    """The frame-authentication key: an explicit value, else the
+    :data:`SECRET_ENV` environment variable, else ``None`` (no auth)."""
+    if secret is None:
+        secret = os.environ.get(SECRET_ENV) or None
+    if secret is None:
+        return None
+    if isinstance(secret, str):
+        secret = secret.encode()
+    if not secret:
+        raise ClusterError("frame-authentication secret must be non-empty")
+    return secret
+
+
+class FrameAuth:
+    """HMAC-SHA256 frame authentication for one direction of a channel.
+
+    The tag covers the 8-byte big-endian **sequence number**, the kind
+    byte and the body. The sequence number is implicit — each side
+    counts the frames it has sent/received on the connection — so a
+    captured frame re-sent later (a replay) fails verification even
+    though its bytes are exactly what the peer once accepted: the
+    receiver's counter has moved on.
+    """
+
+    def __init__(self, secret: str | bytes):
+        secret = resolve_secret(secret)
+        if secret is None:
+            raise ClusterError("FrameAuth requires a secret")
+        self._secret = secret
+
+    def tag(self, seq: int, kind: int, body: bytes) -> bytes:
+        message = seq.to_bytes(8, "big") + bytes([kind]) + body
+        return hmac_mod.new(
+            self._secret, message, hashlib.sha256
+        ).digest()
+
+    def verify(
+        self, seq: int, kind: int, body: bytes, tag: bytes
+    ) -> bool:
+        return hmac_mod.compare_digest(self.tag(seq, kind, body), tag)
 
 
 def stamp_cache_version(message: dict) -> dict:
@@ -107,15 +173,26 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
 
 
 def send_message(
-    sock: socket.socket, message: dict, binary: bool = False
+    sock: socket.socket,
+    message: dict,
+    binary: bool = False,
+    auth: FrameAuth | None = None,
+    seq: int = 0,
 ) -> None:
-    """Send one framed message (``binary=True`` selects pickle)."""
+    """Send one framed message (``binary=True`` selects pickle).
+
+    With ``auth`` set the frame body is followed by the
+    :data:`TAG_BYTES`-byte HMAC tag over (``seq``, kind, body); ``seq``
+    must be this connection's send counter for the tag to verify.
+    """
     if binary:
         body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
         kind = KIND_PICKLE
     else:
         body = json.dumps(message).encode()
         kind = KIND_JSON
+    if auth is not None:
+        body = body + auth.tag(seq, kind, body)
     if len(body) > MAX_FRAME_BYTES:
         raise ClusterError(
             f"refusing to send a {len(body)}-byte frame "
@@ -125,7 +202,10 @@ def send_message(
 
 
 def recv_message(
-    sock: socket.socket, json_only: bool = False
+    sock: socket.socket,
+    json_only: bool = False,
+    auth: FrameAuth | None = None,
+    seq: int = 0,
 ) -> dict | None:
     """Receive one framed message; ``None`` on clean EOF.
 
@@ -133,6 +213,11 @@ def recv_message(
     the receiver's guard for protocol phases where the peer is not yet
     trusted (a coordinator's pre-hello window on an exposed listener
     must never feed attacker bytes to ``pickle.loads``).
+
+    With ``auth`` set the frame must end in a valid HMAC tag for
+    ``seq`` (this connection's receive counter); verification happens
+    **before** the body is parsed, so unauthenticated bytes never
+    reach the JSON decoder, let alone ``pickle.loads``.
     """
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
@@ -151,6 +236,19 @@ def recv_message(
     body = _recv_exact(sock, length) if length else b""
     if body is None:
         raise ClusterError("connection closed between header and body")
+    if auth is not None:
+        if len(body) < TAG_BYTES:
+            raise ClusterError(
+                f"frame too short to carry an authentication tag "
+                f"({len(body)} bytes < {TAG_BYTES}); unauthenticated "
+                "or truncated peer"
+            )
+        body, tag = body[:-TAG_BYTES], body[-TAG_BYTES:]
+        if not auth.verify(seq, kind, body, tag):
+            raise ClusterError(
+                f"frame authentication failed at sequence {seq}: bad "
+                "key, tampered body, or a replayed frame"
+            )
     if kind == KIND_JSON:
         try:
             message = json.loads(body)
@@ -170,6 +268,50 @@ def recv_message(
     return message
 
 
+def encode_job(
+    epoch: int, scenario, faults, engine: str = "closure"
+) -> dict:
+    """One ``run`` shard job as a pickle-free JSON payload.
+
+    The inverse of :func:`decode_job`. Scenario and fault objects go
+    through the declarative campaign codec
+    (:func:`repro.netdebug.campaign.scenario_to_dict` /
+    ``fault_to_dict``), which refuses predicate-carrying faults — a
+    service job frame must never need code to deserialize. The job
+    deliberately cannot carry an ``oracle_factory`` override: the
+    scenario's *named* oracle travels as data and resolves through the
+    worker's own registry.
+    """
+    from .campaign import fault_to_dict, scenario_to_dict
+
+    return {
+        "epoch": int(epoch),
+        "scenario": scenario_to_dict(scenario),
+        "faults": [fault_to_dict(fault) for fault in faults],
+        "engine": engine,
+    }
+
+
+def decode_job(payload: dict) -> tuple:
+    """Rebuild a :func:`repro.netdebug.campaign._run_shard` job tuple
+    from its :func:`encode_job` payload."""
+    from .campaign import fault_from_dict, scenario_from_dict
+
+    try:
+        return (
+            int(payload["epoch"]),
+            scenario_from_dict(payload["scenario"]),
+            tuple(fault_from_dict(f) for f in payload["faults"]),
+            False,  # service campaigns never record suites on workers
+            payload.get("engine", "closure"),
+            None,  # named oracle only; see encode_job
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ClusterError(
+            f"malformed JSON job payload: {exc!r}"
+        ) from exc
+
+
 class Channel:
     """A message channel over one connected socket.
 
@@ -177,18 +319,42 @@ class Channel:
     fire on multiprocessing's result-handler thread) can reply
     concurrently with the main receive loop; receives are expected from
     a single thread.
+
+    With ``secret`` set every frame in both directions is HMAC-
+    authenticated (:class:`FrameAuth`); the per-direction sequence
+    counters live here, one pair per connection, which is what gives
+    replayed frames a stale sequence number.
     """
 
-    def __init__(self, sock: socket.socket):
+    def __init__(
+        self, sock: socket.socket, secret: str | bytes | None = None
+    ):
         self._sock = sock
         self._send_lock = threading.Lock()
+        self._auth = FrameAuth(secret) if secret is not None else None
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    @property
+    def authenticated(self) -> bool:
+        return self._auth is not None
 
     def send(self, message: dict, binary: bool = False) -> None:
         with self._send_lock:
-            send_message(self._sock, message, binary=binary)
+            send_message(
+                self._sock, message, binary=binary,
+                auth=self._auth, seq=self._send_seq,
+            )
+            self._send_seq += 1
 
     def recv(self, json_only: bool = False) -> dict | None:
-        return recv_message(self._sock, json_only=json_only)
+        message = recv_message(
+            self._sock, json_only=json_only,
+            auth=self._auth, seq=self._recv_seq,
+        )
+        if message is not None:
+            self._recv_seq += 1
+        return message
 
     def close(self) -> None:
         try:

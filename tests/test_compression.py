@@ -264,6 +264,34 @@ def test_stale_equivalence_map_is_refused(compressed):
         run_campaign(small_matrix(), compress=compressed)
 
 
+def test_stale_map_error_names_digests_and_axis(compressed):
+    """The staleness error is diagnosable from the message alone: both
+    content digests plus the first axis that drifted, with its two
+    values."""
+    from repro.netdebug.campaign import matrix_to_dict
+    from repro.netdebug.compression import _matrix_digest
+
+    built_from = baseline_compression_matrix()
+    offered = baseline_compression_matrix()
+    offered.seed = built_from.seed + 1
+    with pytest.raises(NetDebugError) as excinfo:
+        compressed.ensure_matches(offered)
+    message = str(excinfo.value)
+    assert (
+        f"map digest {_matrix_digest(matrix_to_dict(built_from))}"
+        in message
+    )
+    assert (
+        f"offered matrix digest {_matrix_digest(matrix_to_dict(offered))}"
+        in message
+    )
+    assert (
+        f"first differing axis 'seed' "
+        f"({built_from.seed!r} vs {offered.seed!r})" in message
+    )
+    assert "recompress" in message
+
+
 def test_compress_and_record_are_mutually_exclusive(tmp_path):
     with pytest.raises(NetDebugError, match="mutually exclusive"):
         run_campaign(

@@ -14,7 +14,7 @@ import pytest
 from repro.exceptions import CompileError
 from repro.netdebug.campaign import run_campaign
 from repro.netdebug.diffing import baseline_matrix
-from repro.netdebug.generator import StreamSpec
+from repro.netdebug.generator import PacketGenerator, StreamSpec
 from repro.netdebug.session import ValidationSession, run_session
 from repro.p4.stdlib import PROGRAMS
 from repro.sim.traffic import default_flow, malformed_mix
@@ -315,6 +315,91 @@ def test_session_reports_identical_across_engines(target):
         )
         reports.append(run_session(device, _oracle_session()).to_dict())
     assert reports[0] == reports[1] == reports[2]
+
+
+def _stream_records(engine, *, timestamps=None, ports=None,
+                    force_per_packet=False):
+    """run_stream one malformed-mix stream; return records + device."""
+    device = make_device(
+        "gen-block", COMPILERS["reference"], PROGRAMS["strict_parser"],
+        engine,
+    )
+    packets = [
+        packet
+        for packet, _ in malformed_mix(default_flow(), 16, 0.5, seed=41)
+    ]
+    generator = PacketGenerator(device)
+    generator.configure(
+        StreamSpec(
+            stream_id=3, packets=packets, timestamps=timestamps,
+            ingress_ports=ports,
+        )
+    )
+    # A no-op per-packet callback disables the block path without
+    # changing observable semantics — the forced-fallback control arm.
+    hook = (lambda record: None) if force_per_packet else None
+    records = generator.run_stream(3, on_injected=hook)
+    return records, device
+
+
+def _normalize_records(records):
+    return [
+        (
+            record.stream_id,
+            record.seq_no,
+            record.wire,
+            record.timestamp,
+            normalize((record.timestamp, record.run)),
+        )
+        for record in records
+    ]
+
+
+@pytest.mark.parametrize(
+    "timestamps,ports",
+    [
+        (None, None),
+        (list(range(100, 1700, 100)), None),
+        (None, [seq % 4 for seq in range(16)]),
+        (list(range(100, 1700, 100)), [seq % 4 for seq in range(16)]),
+    ],
+    ids=["bare", "timestamps", "ports", "both"],
+)
+def test_run_stream_block_path_matches_per_packet(timestamps, ports):
+    """``run_stream``'s default block path — including streams carrying
+    their own arrival process and per-packet ingress ports — is
+    byte-identical to the forced per-packet loop, records and device
+    accounting alike."""
+    blocked, block_device = _stream_records(
+        "batch", timestamps=timestamps, ports=ports
+    )
+    looped, loop_device = _stream_records(
+        "batch", timestamps=timestamps, ports=ports, force_per_packet=True
+    )
+    assert _normalize_records(blocked) == _normalize_records(looped)
+    assert block_device.clock_cycles == loop_device.clock_cycles
+    assert block_device.stats == loop_device.stats
+    assert (
+        block_device.pipeline.state.counters
+        == loop_device.pipeline.state.counters
+    )
+
+
+def test_run_stream_block_path_matches_across_engines():
+    """The same stream yields identical records whichever engine backs
+    the device — the block path must not observably differ from the
+    per-packet engines it bypasses."""
+    normalized = {}
+    for engine in ENGINES:
+        records, _ = _stream_records(
+            engine,
+            timestamps=list(range(50, 850, 50)),
+            ports=[seq % 3 for seq in range(16)],
+        )
+        normalized[engine] = _normalize_records(records)
+    assert (
+        normalized["tree"] == normalized["closure"] == normalized["batch"]
+    )
 
 
 def test_campaign_reports_byte_identical_across_engines():
